@@ -1,0 +1,72 @@
+"""E3: compile-time ratio, non-normalised vs normalised input (Section 6).
+
+Paper claim: "a non-normalized transformation program with constraints
+taking approximately six times longer to compile than a normalized
+program" — already-normal programs are the minimum-time baseline.
+
+Reproduced shape: the ratio is a small constant factor (single digits)
+growing mildly with program width, not orders of magnitude.
+"""
+
+from conftest import best_of, print_table
+
+from repro.lang.ast import Program
+from repro.normalization import normalize
+from repro.workloads import synthetic
+
+WIDTHS = (4, 8, 12, 16, 20)
+
+
+def _compile(program, source, target, keys):
+    return normalize(program, source.schema, target.schema,
+                     source_keys=keys)
+
+
+def _baseline_program(width):
+    """The already-normalised program plus its key clause."""
+    source, target = synthetic.wide_schemas(width)
+    program = synthetic.wide_program(width)
+    normalized = _compile(program, source, target, source.keys)
+    key_clause = program.clause("KOut")
+    return Program(normalized.clauses + (key_clause,))
+
+
+def _series():
+    rows = []
+    for width in WIDTHS:
+        source, target = synthetic.wide_schemas(width)
+        raw_program = synthetic.wide_program(width)
+        _, raw_time = best_of(
+            lambda: _compile(raw_program, source, target, source.keys))
+        baseline = _baseline_program(width)
+        _, base_time = best_of(
+            lambda: _compile(baseline, source, target, source.keys))
+        rows.append((width, round(raw_time * 1000, 2),
+                     round(base_time * 1000, 2),
+                     round(raw_time / base_time, 1)))
+    return rows
+
+
+def test_compile_ratio_shape(benchmark):
+    """The non-normalised/normalised compile ratio is a small factor > 1."""
+    rows = _series()
+    print_table(
+        "E3: compile time, non-normalised vs normalised input",
+        ("width", "non-normalised (ms)", "normalised (ms)", "ratio"),
+        rows)
+    ratios = [row[3] for row in rows]
+    # Shape: always slower than the baseline, by single digits (paper: ~6x),
+    # never orders of magnitude.
+    assert all(1.5 <= ratio <= 20 for ratio in ratios), ratios
+    benchmark.extra_info["ratios"] = ratios
+
+    source, target = synthetic.wide_schemas(12)
+    program = synthetic.wide_program(12)
+    benchmark(lambda: _compile(program, source, target, source.keys))
+
+
+def test_normalised_baseline_compile(benchmark):
+    """Compile time of an already-normal program (the paper's minimum)."""
+    source, target = synthetic.wide_schemas(12)
+    baseline = _baseline_program(12)
+    benchmark(lambda: _compile(baseline, source, target, source.keys))

@@ -1,0 +1,65 @@
+"""E6: the CPL execution path (Section 5, Figure 6).
+
+Morphase executed normal-form WOL by compiling it into CPL and running it
+on Kleisli.  This benchmark checks the reproduced path — WOL -> CPL text ->
+CPL interpreter — computes exactly the same instance as the direct
+executor, and measures the translation cost (cheap) and interpretation
+overhead (small constant factor).
+"""
+
+import pytest
+from conftest import best_of, print_table
+
+from repro.cpl import run_cpl, translate_program
+from repro.morphase import Morphase
+from repro.semantics import merge_instances
+from repro.workloads import cities
+
+
+@pytest.fixture(scope="module")
+def setup():
+    morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                        cities.target_schema(), cities.PROGRAM_TEXT)
+    normalized = morphase.compile()
+    sources = merge_instances("__source__", [
+        cities.generate_us_instance(10, 3, seed=4),
+        cities.generate_euro_instance(40, 4, seed=4)])
+    return morphase, normalized, sources
+
+
+def test_translation_is_cheap(setup, benchmark):
+    _, normalized, _ = setup
+    cpl = benchmark(lambda: translate_program(
+        normalized.program(), cities.target_schema().schema))
+    assert len(cpl) == 4
+    assert "insert CountryT" in cpl.source()
+
+
+def test_cpl_equals_direct(setup, benchmark):
+    morphase, normalized, sources = setup
+    direct = morphase.transform(sources, backend="direct").target
+    cpl_program = translate_program(normalized.program(),
+                                    cities.target_schema().schema)
+
+    target = benchmark(lambda: run_cpl(
+        cpl_program, sources, cities.target_schema().schema))
+    assert target.valuations == direct.valuations
+
+
+def test_backend_overhead_is_constant_factor(setup, benchmark):
+    morphase, _, sources = setup
+    _, direct_time = best_of(
+        lambda: morphase.transform(sources, backend="direct"),
+        repetitions=2)
+    _, cpl_time = best_of(
+        lambda: morphase.transform(sources, backend="cpl"),
+        repetitions=2)
+    print_table("E6: direct executor vs CPL interpreter",
+                ("backend", "ms"),
+                [("direct", round(direct_time * 1000, 1)),
+                 ("cpl", round(cpl_time * 1000, 1))])
+    # Same asymptotics: the interpreter costs a constant factor, not a
+    # different complexity class.
+    assert cpl_time < direct_time * 25
+
+    benchmark(lambda: morphase.transform(sources, backend="cpl"))

@@ -1,0 +1,74 @@
+"""E4: exponential blow-up without constraints (Section 6).
+
+Paper claim: "If constraints were omitted the time taken to normalize a
+program, and the size of the resulting normal-form program, could be
+exponential in the size of the original program."
+
+Reproduced shape: on variant-split programs the constraint-less normal
+form has ``choices ** width`` clauses and compile time grows likewise,
+while with constraints both stay flat/linear.
+"""
+
+from conftest import best_of, print_table
+
+from repro.normalization import NormalizationOptions, normalize
+from repro.workloads import synthetic
+
+WIDTHS = (2, 4, 6, 8)
+CHOICES = 2
+
+
+def _compile(width, use_constraints):
+    program = synthetic.variant_split_program(width, CHOICES)
+    source, target = synthetic.variant_schemas(width, CHOICES)
+    options = NormalizationOptions(use_constraints=use_constraints)
+    return normalize(program, source.schema, target.schema,
+                     source_keys=source.keys, options=options)
+
+
+def _series():
+    rows = []
+    for width in WIDTHS:
+        with_c, with_time = best_of(lambda: _compile(width, True),
+                                    repetitions=2)
+        without_c, without_time = best_of(lambda: _compile(width, False),
+                                          repetitions=1)
+        rows.append((
+            width,
+            with_c.report.normal_clauses, without_c.report.normal_clauses,
+            with_c.report.normal_size, without_c.report.normal_size,
+            round(with_time * 1000, 1), round(without_time * 1000, 1)))
+    return rows
+
+
+def test_exponential_without_constraints(benchmark):
+    rows = _series()
+    print_table(
+        "E4: normal-form size/time, with vs without constraints",
+        ("width", "clauses(with)", "clauses(without)",
+         "atoms(with)", "atoms(without)", "ms(with)", "ms(without)"),
+        rows)
+    # Shape assertions:
+    # 1. with constraints the clause count is flat (= CHOICES);
+    assert all(row[1] == CHOICES for row in rows)
+    # 2. without constraints it is exactly choices ** width per producer
+    #    family times the producer count;
+    for width, _, without_clauses, *_ in rows:
+        assert without_clauses == CHOICES * (CHOICES ** width)
+    # 3. the constraint-less size explodes relative to the constrained one
+    #    and the gap widens with width (exponential separation).
+    gaps = [row[4] / row[3] for row in rows]
+    assert all(later > earlier for earlier, later in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 100
+
+    benchmark.extra_info["clauses_without"] = [r[2] for r in rows]
+    benchmark(lambda: _compile(4, True))
+
+
+def test_constrained_compile_stays_tractable(benchmark):
+    """With constraints, compile time grows mildly in width."""
+    _, small = best_of(lambda: _compile(2, True), repetitions=2)
+    _, large = best_of(lambda: _compile(8, True), repetitions=2)
+    # 4x the width should cost far less than the 64x of the exponential.
+    assert large / small < 30
+    benchmark(lambda: _compile(8, True))

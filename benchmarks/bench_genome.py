@@ -1,0 +1,81 @@
+"""E7: the genome-warehouse trial at scale (Section 6).
+
+ACeDB-style tree data is imported, transformed and exported to relational
+tables.  The paper reports the pipeline ran periodically against evolving
+genome databases; here we measure the full pass and the effect of source
+sparseness (ACeDB data is "sparsely populated") on warehouse size.
+"""
+
+import pytest
+from conftest import best_of, print_table
+
+from repro.adapters.acedb import schema_of_acedb
+from repro.adapters.relational import export_instance
+from repro.morphase import Morphase
+from repro.workloads import genome
+
+
+@pytest.fixture(scope="module")
+def morphase():
+    source_schema = schema_of_acedb(genome.sample_acedb())
+    m = Morphase([source_schema], genome.warehouse_schema(),
+                 genome.PROGRAM_TEXT)
+    m.compile()
+    return m
+
+
+def _full_pass(morphase, database):
+    source = genome.source_instance(database)
+    result = morphase.transform(source)
+    tables = export_instance(result.target, genome.WAREHOUSE_TABLES)
+    return result, tables
+
+
+def test_full_pipeline(morphase, benchmark):
+    database = genome.generate_acedb(20, 60, 120, sparsity=0.85, seed=5)
+    result, tables = benchmark(lambda: _full_pass(morphase, database))
+    assert tables.check_foreign_keys() == []
+    assert result.target.size() == sum(
+        len(t) for t in tables.tables.values())
+
+
+def test_sparsity_sweep(morphase, benchmark):
+    rows = []
+    for sparsity in (0.4, 0.6, 0.8, 1.0):
+        database = genome.generate_acedb(15, 40, 80, sparsity=sparsity,
+                                         seed=6)
+        result, _ = _full_pass(morphase, database)
+        sizes = result.target.class_sizes()
+        rows.append((sparsity, len(database.objects),
+                     result.target.size(), sizes["CloneT"],
+                     sizes["SeqGene"]))
+    print_table("E7: warehouse size vs source sparseness",
+                ("sparsity", "source objs", "warehouse objs",
+                 "clones kept", "gene links"), rows)
+    # Denser sources keep strictly more of the warehouse.
+    warehouse_sizes = [row[2] for row in rows]
+    assert warehouse_sizes == sorted(warehouse_sizes)
+    # Full population drops nothing.
+    assert rows[-1][3] == 80
+
+    database = genome.generate_acedb(15, 40, 80, sparsity=0.8, seed=6)
+    benchmark(lambda: _full_pass(morphase, database))
+
+
+def test_pipeline_scaling(morphase, benchmark):
+    times = {}
+    rows = []
+    for clones in (50, 100, 200):
+        database = genome.generate_acedb(
+            clones // 5, clones // 2, clones, sparsity=0.9, seed=8)
+        (result, _), elapsed = best_of(
+            lambda: _full_pass(morphase, database), repetitions=2)
+        times[clones] = elapsed
+        rows.append((clones, result.target.size(),
+                     round(elapsed * 1000, 1)))
+    print_table("E7: pipeline time vs source size",
+                ("clones", "warehouse objs", "ms"), rows)
+    assert times[200] / times[50] < 16  # linear-ish, not quadratic
+
+    database = genome.generate_acedb(20, 50, 100, sparsity=0.9, seed=8)
+    benchmark(lambda: _full_pass(morphase, database))

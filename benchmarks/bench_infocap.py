@@ -1,0 +1,56 @@
+"""F4-F5: information preservation under constraints (Section 4.3).
+
+The (T6)-(T8) schema evolution is not injective on arbitrary sources but
+is injective on sources satisfying (C9)-(C11).  This benchmark runs the
+empirical checker over an instance family and measures its cost.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.infocap import check_preservation
+from repro.morphase import Morphase
+from repro.workloads import persons
+
+
+@pytest.fixture(scope="module")
+def morphase():
+    m = Morphase([persons.person_schema()], persons.evolved_schema(),
+                 persons.PROGRAM_TEXT)
+    m.compile()
+    return m
+
+
+def _family():
+    return [
+        persons.generate_instance(0),
+        persons.generate_instance(1),
+        persons.generate_instance(2),
+        persons.generate_instance(3),
+        persons.couples_instance([("P", "Q")]),
+        persons.couples_instance([("A", "B"), ("C", "D")]),
+        persons.asymmetric_instance(),
+        persons.symmetric_variant_of_asymmetric(),
+    ]
+
+
+def test_preservation_under_constraints(morphase, benchmark):
+    constraints = morphase.compile().source_constraints
+
+    def transform(instance):
+        return morphase.transform(instance).target
+
+    report = benchmark(
+        lambda: check_preservation(transform, _family(), constraints))
+    print_table(
+        "F4-F5: injectivity of (T6)-(T8) (Section 4.3)",
+        ("family", "instances", "injective", "witnesses"),
+        [("all sources", report.total_count,
+          report.unconstrained.injective,
+          len(report.unconstrained.failures)),
+         ("satisfying (C9)-(C11)", report.constrained_count,
+          report.constrained.injective,
+          len(report.constrained.failures))])
+    assert not report.unconstrained.injective
+    assert report.constrained.injective
+    assert report.constrained_count < report.total_count

@@ -1,0 +1,50 @@
+"""E8: the ReLiBase drug-design warehouse at scale (Section 6).
+
+WOL's second reported deployment (VODAK/Darmstadt): SWISSPROT + PDB
+sources integrated into a ReLiBase-like object warehouse.  Measures the
+multi-source build end to end, including set-valued accumulation.
+"""
+
+import pytest
+from conftest import best_of, print_table
+
+from repro.morphase import Morphase
+from repro.workloads import relibase
+
+
+@pytest.fixture(scope="module")
+def morphase():
+    m = Morphase([relibase.swissprot_schema(), relibase.pdb_schema()],
+                 relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+    m.compile()
+    return m
+
+
+def test_warehouse_build_scaling(morphase, benchmark):
+    rows = []
+    times = {}
+    for proteins in (25, 50, 100):
+        sp, pdb = relibase.generate_sources(
+            proteins, 3, proteins // 2, proteins * 2, seed=3)
+        result, elapsed = best_of(
+            lambda: morphase.transform([sp, pdb]), repetitions=2)
+        times[proteins] = elapsed
+        sizes = result.target.class_sizes()
+        rows.append((proteins, sizes["Structure"], sizes["Complex"],
+                     round(elapsed * 1000, 1)))
+    print_table("E8: ReLiBase warehouse build vs source size",
+                ("proteins", "structures", "complexes", "ms"), rows)
+    # Linear-ish growth: 4x the proteins well under 16x the time.
+    assert times[100] / times[25] < 12
+
+    sp, pdb = relibase.generate_sources(50, 3, 25, 100, seed=3)
+    benchmark(lambda: morphase.transform([sp, pdb]))
+
+
+def test_set_accumulation_complete(morphase, benchmark):
+    sp, pdb = relibase.generate_sources(30, 4, 10, 50, seed=9)
+    result = benchmark(lambda: morphase.transform([sp, pdb]))
+    target = result.target
+    collected = sum(len(target.attribute(p, "structures"))
+                    for p in target.objects_of("Protein"))
+    assert collected == target.class_sizes()["Structure"] == 120

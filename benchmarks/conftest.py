@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-shaped series it reproduces (run pytest
+with ``-s`` to see them) and records the headline numbers in
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON output.
+"""
+
+import time
+
+import pytest
+
+
+def best_of(callable_, repetitions=3):
+    """Minimum wall-clock over a few repetitions (noise control)."""
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def print_table(title, header, rows):
+    """Render a small fixed-width table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i])
+                        for i, cell in enumerate(row)))

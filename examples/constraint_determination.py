@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Constraints determining transformations (paper Section 4.1, E1).
+
+The paper generalises CountryT and StateT by a class PlaceT and notes that
+the relationship clauses (C6)/(C7) — *constraints* — "are sufficient to
+determine the objects of class PlaceT, so no additional transformation
+clauses ... would be needed".  This example runs exactly that program: the
+only new clauses are the two constraints, and Morphase derives the PlaceT
+population from them.
+
+Run:  python examples/constraint_determination.py
+"""
+
+from repro.lang.pretty import format_program
+from repro.model import parse_schema
+from repro.morphase import Morphase
+from repro.workloads import cities
+
+#: Figure 3's schema extended with the PlaceT generalisation.
+EXTENDED_TARGET = """
+schema Target {
+  class CityT    = (name: str,
+                    place: <<euro_city: CountryT, us_city: StateT>>)
+                   key name;
+  class CountryT = (name: str, language: str, currency: str,
+                    capital: CityT) key name;
+  class StateT   = (name: str, capital: CityT) key name;
+  class PlaceT   = (name: str, currency: str, language: str) key name;
+}
+"""
+
+#: (C6)/(C7): the generalisation constraints, verbatim from Section 4.1.
+PLACE_CONSTRAINTS = """
+constraint C6:
+  P in PlaceT, P.name = N, P.currency = C, P.language = L
+  <= X in CountryT, X.name = N, X.currency = C, X.language = L;
+
+constraint C7:
+  P in PlaceT, P.name = N, P.currency = "US-Dollars",
+  P.language = "English"
+  <= S in StateT, S.name = N;
+"""
+
+
+def main() -> None:
+    target = parse_schema(EXTENDED_TARGET)
+    program_text = cities.PROGRAM_TEXT + PLACE_CONSTRAINTS
+    morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                        target, program_text)
+
+    normalized = morphase.compile()
+    place_clauses = [c for c in normalized.clauses
+                     if "PlaceT" in str(c.head)]
+    print("=== Normal-form clauses derived for PlaceT ===")
+    print("(from the constraints (C6)/(C7) alone -- no transformation")
+    print(" clauses for PlaceT were written)\n")
+    print(format_program(normalized.program().with_clauses(
+        tuple(place_clauses))))
+
+    result = morphase.transform([cities.sample_us_instance(),
+                                 cities.sample_euro_instance()])
+    target_instance = result.target
+    print("\n=== PlaceT objects ===")
+    for place in sorted(target_instance.objects_of("PlaceT"), key=str):
+        value = target_instance.value_of(place)
+        print(f"  {value}")
+    sizes = target_instance.class_sizes()
+    print(f"\nclass sizes: {sizes}")
+    assert sizes["PlaceT"] == sizes["CountryT"] + sizes["StateT"]
+    print("PlaceT = CountryT + StateT, as the constraints require.")
+
+
+if __name__ == "__main__":
+    main()

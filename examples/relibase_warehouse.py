@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The ReLiBase drug-design warehouse (paper Section 6).
+
+WOL's second reported deployment: the VODAK project at Darmstadt used WOL
+"to build a data-warehouse of protein and protein-ligand data for use in
+drug design ... transforming data from a variety of public molecular
+biology databases, including SWISSPROT and PDB".
+
+This example integrates a SWISSPROT-like and a PDB-like source into a
+ReLiBase-like object model, demonstrating multi-source joins and
+set-valued attribute accumulation.
+
+Run:  python examples/relibase_warehouse.py
+"""
+
+from repro.lang.pretty import format_program
+from repro.morphase import Morphase
+from repro.workloads import relibase
+
+
+def main() -> None:
+    morphase = Morphase(
+        [relibase.swissprot_schema(), relibase.pdb_schema()],
+        relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+
+    print("=== Normal-form warehouse program ===")
+    print(format_program(morphase.compile().program()))
+
+    result = morphase.transform([relibase.sample_swissprot(),
+                                 relibase.sample_pdb()])
+    target = result.target
+    print("\n=== Warehouse contents ===")
+    for protein in sorted(target.objects_of("Protein"), key=str):
+        accession = target.attribute(protein, "accession")
+        name = target.attribute(protein, "name")
+        structures = sorted(target.attribute(s, "pdb_id")
+                            for s in target.attribute(protein,
+                                                      "structures"))
+        print(f"  {accession} ({name}): structures {structures}")
+    for complex_ in sorted(target.objects_of("Complex"), key=str):
+        structure = target.attribute(complex_, "structure")
+        ligand = target.attribute(complex_, "ligand")
+        print(f"  complex: {target.attribute(structure, 'pdb_id')} + "
+              f"{target.attribute(ligand, 'code')} "
+              f"(pKd {target.attribute(complex_, 'affinity')})")
+
+    print("\nNote: PDB structure 9XYZ was dropped -- its accession has "
+          "no SWISSPROT entry,\nso the cross-database join excludes it "
+          "(the warehouse only keeps curated proteins).")
+
+    # Scale up.
+    sp, pdb = relibase.generate_sources(
+        proteins=50, structures_per_protein=3, ligands=30, bindings=120,
+        seed=13)
+    result = morphase.transform([sp, pdb])
+    print(f"\n=== Synthetic scale-up ===")
+    print(f"warehouse sizes: {result.target.class_sizes()}")
+    print(f"execution: {result.stats.bindings_found} body matches in "
+          f"{result.stats.elapsed_seconds * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro-wol: a reproduction of "WOL: A Language for Database
+Transformations and Constraints" (Davidson & Kosky, ICDE 1997).
+
+Public entry points:
+
+* :class:`repro.morphase.Morphase` — compile and run WOL programs.
+* :mod:`repro.model` — schemas, keys, instances.
+* :mod:`repro.lang` — the WOL language (parser, checks).
+* :mod:`repro.workloads` — the paper's examples and generators.
+"""
+
+from .morphase.system import Morphase, MorphaseError, MorphaseResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Morphase", "MorphaseError", "MorphaseResult", "__version__"]

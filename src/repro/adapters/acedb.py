@@ -1,0 +1,234 @@
+"""ACeDB-style tree-database substrate and adapter (paper Section 6).
+
+ACeDB "represents data in tree-like structures with object identities, and
+is well suited for representing sparsely populated data".  The paper's
+genome trials imported data from ACe22DB (an ACeDB database at the Sanger
+Centre) into the relational Chr22DB — incompatible data models bridged
+through the common WOL model.
+
+This substrate models the essentials:
+
+* an :class:`AceClass` declares *tags*; each tag holds zero or more values
+  (sparseness: most objects fill few tags);
+* tag values are scalars or references to other ACeDB objects (class +
+  name identity);
+* :func:`import_acedb` maps each ACeDB class to a WOL class whose
+  attributes are *set-valued* (absent tag = empty set), preserving
+  sparseness, with objects keyed by their ACeDB name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..model.instance import Instance, InstanceBuilder
+from ..model.keys import KeySpec, KeyedSchema, attribute_key
+from ..model.schema import Schema
+from ..model.types import (BOOL, FLOAT, INT, STR, BaseType, ClassType,
+                           RecordType, SetType, Type)
+from ..model.values import Oid, Record, Value, WolSet
+
+ScalarTag = Union[int, str, bool, float]
+
+
+class AceError(Exception):
+    """Raised for malformed ACeDB declarations or data."""
+
+
+_TAG_TYPES = {"int": INT, "str": STR, "bool": BOOL, "float": FLOAT}
+
+
+@dataclass(frozen=True)
+class TagSpec:
+    """One tag: a name and either a scalar type or a referenced class."""
+
+    name: str
+    type_name: str  # "int" | "str" | "bool" | "float" | "ref"
+    references: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.type_name == "ref":
+            if not self.references:
+                raise AceError(
+                    f"tag {self.name}: 'ref' tags need a target class")
+        elif self.type_name not in _TAG_TYPES:
+            raise AceError(
+                f"tag {self.name}: unknown type {self.type_name!r}")
+        elif self.references is not None:
+            raise AceError(
+                f"tag {self.name}: scalar tags cannot reference classes")
+
+
+@dataclass(frozen=True)
+class AceClass:
+    """An ACeDB class model: a name and its tag specifications."""
+
+    name: str
+    tags: Tuple[TagSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [tag.name for tag in self.tags]
+        if len(set(names)) != len(names):
+            raise AceError(f"class {self.name}: duplicate tags")
+        if "name" in names:
+            raise AceError(
+                f"class {self.name}: 'name' is reserved for the object "
+                f"identity")
+
+    def tag(self, name: str) -> TagSpec:
+        for tag in self.tags:
+            if tag.name == name:
+                return tag
+        raise AceError(f"class {self.name}: no tag {name!r}")
+
+
+@dataclass
+class AceObject:
+    """An ACeDB object: identified by (class, name), carrying tag values."""
+
+    class_name: str
+    name: str
+    tags: Dict[str, List[ScalarTag]] = field(default_factory=dict)
+    refs: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+
+    def add(self, tag: str, value: ScalarTag) -> "AceObject":
+        self.tags.setdefault(tag, []).append(value)
+        return self
+
+    def add_ref(self, tag: str, class_name: str, name: str) -> "AceObject":
+        self.refs.setdefault(tag, []).append((class_name, name))
+        return self
+
+
+class AceDatabase:
+    """A store of ACeDB objects grouped by class."""
+
+    def __init__(self, name: str, classes: Sequence[AceClass]) -> None:
+        self.name = name
+        self.classes: Dict[str, AceClass] = {}
+        for ace_class in classes:
+            if ace_class.name in self.classes:
+                raise AceError(f"duplicate class {ace_class.name}")
+            self.classes[ace_class.name] = ace_class
+        self.objects: Dict[Tuple[str, str], AceObject] = {}
+
+    def ace_class(self, name: str) -> AceClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise AceError(f"no ACeDB class {name!r}") from None
+
+    def new_object(self, class_name: str, name: str) -> AceObject:
+        self.ace_class(class_name)
+        key = (class_name, name)
+        if key in self.objects:
+            raise AceError(f"duplicate object {class_name}:{name}")
+        obj = AceObject(class_name, name)
+        self.objects[key] = obj
+        return obj
+
+    def objects_of(self, class_name: str) -> List[AceObject]:
+        return [obj for (cname, _), obj in sorted(self.objects.items())
+                if cname == class_name]
+
+    def validate(self) -> List[str]:
+        """Tag-type and reference checks; returns problems (empty = ok)."""
+        problems: List[str] = []
+        for obj in self.objects.values():
+            ace_class = self.ace_class(obj.class_name)
+            for tag_name, values in obj.tags.items():
+                try:
+                    spec = ace_class.tag(tag_name)
+                except AceError as exc:
+                    problems.append(str(exc))
+                    continue
+                if spec.type_name == "ref":
+                    problems.append(
+                        f"{obj.class_name}:{obj.name}: tag {tag_name} is "
+                        f"a reference tag but holds scalars")
+                    continue
+                expected = {"int": int, "str": str, "bool": bool,
+                            "float": float}[spec.type_name]
+                for value in values:
+                    if isinstance(value, bool) and expected is int:
+                        problems.append(
+                            f"{obj.class_name}:{obj.name}: tag "
+                            f"{tag_name} bool where int expected")
+                    elif not isinstance(value, expected):
+                        problems.append(
+                            f"{obj.class_name}:{obj.name}: tag "
+                            f"{tag_name} has {value!r}, expected "
+                            f"{spec.type_name}")
+            for tag_name, targets in obj.refs.items():
+                try:
+                    spec = ace_class.tag(tag_name)
+                except AceError as exc:
+                    problems.append(str(exc))
+                    continue
+                if spec.type_name != "ref":
+                    problems.append(
+                        f"{obj.class_name}:{obj.name}: scalar tag "
+                        f"{tag_name} holds references")
+                    continue
+                for target_class, target_name in targets:
+                    if target_class != spec.references:
+                        problems.append(
+                            f"{obj.class_name}:{obj.name}: tag "
+                            f"{tag_name} references {target_class}, "
+                            f"expected {spec.references}")
+                    elif (target_class, target_name) not in self.objects:
+                        problems.append(
+                            f"{obj.class_name}:{obj.name}: dangling "
+                            f"reference {target_class}:{target_name}")
+        return problems
+
+
+# ----------------------------------------------------------------------
+# Import: ACeDB -> WOL
+# ----------------------------------------------------------------------
+
+def schema_of_acedb(database: AceDatabase) -> KeyedSchema:
+    """The WOL keyed schema induced by an ACeDB database.
+
+    Every tag becomes a *set-valued* attribute (absent = empty set), which
+    is how the WOL model captures ACeDB's sparseness; ``name`` carries the
+    object identity and keys the class.
+    """
+    classes: List[Tuple[str, Type]] = []
+    for ace_class in database.classes.values():
+        fields: List[Tuple[str, Type]] = [("name", STR)]
+        for tag in ace_class.tags:
+            if tag.type_name == "ref":
+                element: Type = ClassType(tag.references)  # type: ignore[arg-type]
+            else:
+                element = _TAG_TYPES[tag.type_name]
+            fields.append((tag.name, SetType(element)))
+        classes.append((ace_class.name, RecordType(tuple(fields))))
+    schema = Schema(database.name, tuple(classes))
+    functions = {cname: attribute_key(schema, cname, "name")
+                 for cname in database.classes}
+    return KeyedSchema(schema, KeySpec(functions))
+
+
+def import_acedb(database: AceDatabase) -> Instance:
+    """Import an ACeDB database as a WOL instance."""
+    problems = database.validate()
+    if problems:
+        raise AceError("cannot import invalid ACeDB data: "
+                       + "; ".join(problems[:5]))
+    keyed = schema_of_acedb(database)
+    builder = InstanceBuilder(keyed.schema)
+    for (class_name, name), obj in sorted(database.objects.items()):
+        ace_class = database.ace_class(class_name)
+        fields: List[Tuple[str, Value]] = [("name", name)]
+        for tag in ace_class.tags:
+            if tag.type_name == "ref":
+                targets = obj.refs.get(tag.name, [])
+                fields.append((tag.name, WolSet(frozenset(
+                    Oid.keyed(tc, tn) for tc, tn in targets))))
+            else:
+                values = obj.tags.get(tag.name, [])
+                fields.append((tag.name, WolSet(frozenset(values))))
+        builder.put(Oid.keyed(class_name, name), Record(tuple(fields)))
+    return builder.freeze()

@@ -1,0 +1,175 @@
+"""Command-line front end: ``python -m repro``.
+
+Runs the Morphase pipeline against files on disk, the way the paper's
+system was used operationally (periodic transformations between evolving
+databases, Section 6).
+
+Subcommands::
+
+    python -m repro compile  --source us.schema --source euro.schema \\
+                             --target target.schema program.wol
+        Normalise a program and print the normal form plus statistics.
+
+    python -m repro transform --source us.schema --source euro.schema \\
+                              --target target.schema program.wol \\
+                              --data us.json --data euro.json \\
+                              --out target.json [--backend cpl]
+        Run the transformation over JSON instances; write the target.
+
+    python -m repro check    --source euro.schema program.wol \\
+                             --data euro.json
+        Audit constraint clauses against an instance.
+
+Schema files use the textual schema language; ``program.wol`` is WOL
+concrete syntax; instances are the JSON interchange format of
+:mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .io.json_io import dump_instance, load_instance
+from .lang.parser import parse_program
+from .lang.pretty import format_program
+from .model.keys import KeyedSchema
+from .model.schema import parse_schema
+from .morphase.system import Morphase
+from .semantics.satisfaction import merge_instances, program_violations
+
+
+def _load_schema_file(path: str):
+    with open(path) as handle:
+        return parse_schema(handle.read())
+
+
+def _load_program_text(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _build_morphase(args) -> Morphase:
+    sources = [_load_schema_file(path) for path in args.source]
+    target = _load_schema_file(args.target)
+    return Morphase(sources, target, _load_program_text(args.program))
+
+
+def _cmd_compile(args) -> int:
+    morphase = _build_morphase(args)
+    normalized = morphase.compile()
+    report = normalized.report
+    print(format_program(normalized.program()))
+    print()
+    print(f"-- input:  {report.input_clauses} clauses, "
+          f"{report.input_size} atoms")
+    print(f"-- output: {report.normal_clauses} clauses, "
+          f"{report.normal_size} atoms")
+    print(f"-- pruned unsatisfiable combinations: "
+          f"{report.pruned_unsatisfiable}")
+    print(f"-- compile time: {report.elapsed_seconds * 1000:.1f} ms")
+    if report.uncovered:
+        print(f"-- WARNING, uncovered attributes: {report.uncovered}")
+        return 1
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    morphase = _build_morphase(args)
+    instances = [load_instance(path) for path in args.data]
+    result = morphase.transform(
+        instances, backend=args.backend,
+        check_source_constraints=args.check_source)
+    dump_instance(result.target, args.out)
+    sizes = ", ".join(f"{cname}={count}" for cname, count in
+                      sorted(result.target.class_sizes().items()))
+    print(f"wrote {args.out}: {sizes}")
+    if args.audit:
+        violations = morphase.audit(instances, result.target)
+        if violations:
+            print(f"AUDIT FAILED: {len(violations)} violation(s)")
+            for violation in violations[:5]:
+                print(f"  {violation}")
+            return 1
+        print("audit: all clauses satisfied")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    sources = [_load_schema_file(path) for path in args.source]
+    schemas = [s.schema if isinstance(s, KeyedSchema) else s
+               for s in sources]
+    class_names: List[str] = []
+    for schema in schemas:
+        class_names.extend(schema.class_names())
+    program = parse_program(_load_program_text(args.program),
+                            classes=class_names)
+    instances = [load_instance(path) for path in args.data]
+    merged = (instances[0] if len(instances) == 1
+              else merge_instances("__check__", instances))
+    violations = program_violations(merged, program, limit_per_clause=10)
+    if violations:
+        print(f"{len(violations)} violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"all {len(program)} clauses satisfied")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WOL/Morphase: database transformations and "
+                    "constraints (Davidson & Kosky, ICDE 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile",
+                               help="normalise a WOL program")
+    transform_p = sub.add_parser("transform",
+                                 help="run a transformation")
+    check_p = sub.add_parser("check",
+                             help="audit constraints against an instance")
+
+    for p in (compile_p, transform_p):
+        p.add_argument("--source", action="append", required=True,
+                       help="source schema file (repeatable)")
+        p.add_argument("--target", required=True,
+                       help="target schema file")
+        p.add_argument("program", help="WOL program file")
+    check_p.add_argument("--source", action="append", required=True,
+                         help="schema file (repeatable)")
+    check_p.add_argument("program", help="WOL constraint file")
+
+    transform_p.add_argument("--data", action="append", required=True,
+                             help="source instance JSON (repeatable)")
+    transform_p.add_argument("--out", required=True,
+                             help="target instance JSON to write")
+    transform_p.add_argument("--backend", default="direct",
+                             choices=["direct", "cpl"])
+    transform_p.add_argument("--check-source", action="store_true",
+                             help="validate source constraints first")
+    transform_p.add_argument("--audit", action="store_true",
+                             help="audit the result against the program")
+    check_p.add_argument("--data", action="append", required=True,
+                         help="instance JSON (repeatable)")
+
+    compile_p.set_defaults(func=_cmd_compile)
+    transform_p.set_defaults(func=_cmd_transform)
+    check_p.set_defaults(func=_cmd_check)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

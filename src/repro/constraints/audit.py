@@ -1,0 +1,57 @@
+"""Constraint auditing: check clause families against instances.
+
+A thin convenience layer over :mod:`repro.semantics.satisfaction` that
+groups constraints, runs them against an instance, and renders a readable
+report — the "expressing and interacting with a large class of
+constraints" side of the paper (Section 3.1), packaged for direct use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..lang.ast import Clause
+from ..model.instance import Instance
+from ..semantics.satisfaction import Violation, clause_violations
+
+
+@dataclass
+class ConstraintReport:
+    """Violations per clause, with a pass/fail summary."""
+
+    checked: int
+    violations: Dict[str, List[Violation]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def failed_clauses(self) -> List[str]:
+        return sorted(self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all {self.checked} constraints satisfied"
+        lines = [f"{len(self.violations)} of {self.checked} "
+                 f"constraints violated:"]
+        for name in self.failed_clauses():
+            found = self.violations[name]
+            lines.append(f"  {name}: {len(found)} violation(s); "
+                         f"first: {found[0]}")
+        return "\n".join(lines)
+
+
+def audit_constraints(instance: Instance,
+                      constraints: Sequence[Clause],
+                      limit_per_clause: Optional[int] = 10
+                      ) -> ConstraintReport:
+    """Check every constraint; collect up to ``limit_per_clause``
+    violations each."""
+    report = ConstraintReport(checked=len(constraints))
+    for index, clause in enumerate(constraints):
+        found = clause_violations(instance, clause, limit_per_clause)
+        if found:
+            name = clause.name or f"<clause {index}>"
+            report.violations[name] = found
+    return report

@@ -1,0 +1,170 @@
+"""Builders for common constraint families, expressed as WOL clauses.
+
+The paper's position (Sections 2-3): keys, functional and inclusion
+dependencies, cardinality constraints and specialisation relations are not
+baked into the data model — they are all just WOL clauses.  This module
+builds those clauses programmatically so schemas' "standard" constraints
+can be generated rather than hand-written, complementing the key-clause
+generation of :mod:`repro.morphase.metadata`.
+
+All builders return plain :class:`~repro.lang.ast.Clause` values that work
+with the satisfaction checker (auditing instances) and, where applicable,
+with the normaliser's recognisers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..lang.ast import (Clause, EqAtom, InAtom, KIND_CONSTRAINT, MemberAtom,
+                        Proj, Term, Var)
+
+Path = Tuple[str, ...]
+
+
+def _proj(base: Term, path: Path) -> Term:
+    term = base
+    for attr in path:
+        term = Proj(term, attr)
+    return term
+
+
+def _as_path(path) -> Path:
+    if isinstance(path, str):
+        return tuple(path.split("."))
+    return tuple(path)
+
+
+def key_constraint(class_name: str, paths: Sequence,
+                   name: Optional[str] = None) -> Clause:
+    """``X = Y`` whenever all key paths agree (the paper's (C8) shape).
+
+    >>> print(key_constraint("CountryE", ["name"]))
+    X = Y <= X in CountryE, Y in CountryE, X.name = Y.name;
+    """
+    body: List = [MemberAtom(Var("X"), class_name),
+                  MemberAtom(Var("Y"), class_name)]
+    for path in paths:
+        path = _as_path(path)
+        body.append(EqAtom(_proj(Var("X"), path), _proj(Var("Y"), path)))
+    return Clause((EqAtom(Var("X"), Var("Y")),), tuple(body),
+                  name=name or f"key_{class_name}", kind=KIND_CONSTRAINT)
+
+
+def functional_dependency(class_name: str, determinants: Sequence,
+                          dependent, name: Optional[str] = None) -> Clause:
+    """``X.dep = Y.dep`` whenever the determinant paths agree.
+
+    >>> print(functional_dependency("CityE", ["country"], "is_capital"))
+    X.is_capital = Y.is_capital <= X in CityE, Y in CityE, X.country = Y.country;
+    """
+    dependent = _as_path(dependent)
+    body: List = [MemberAtom(Var("X"), class_name),
+                  MemberAtom(Var("Y"), class_name)]
+    for path in determinants:
+        path = _as_path(path)
+        body.append(EqAtom(_proj(Var("X"), path), _proj(Var("Y"), path)))
+    head = (EqAtom(_proj(Var("X"), dependent),
+                   _proj(Var("Y"), dependent)),)
+    return Clause(head, tuple(body),
+                  name=name or f"fd_{class_name}_{'_'.join(dependent)}",
+                  kind=KIND_CONSTRAINT)
+
+
+def inclusion_dependency(class_name: str, path,
+                         target_class: str,
+                         name: Optional[str] = None) -> Clause:
+    """Every value reached by ``path`` is an object of ``target_class``.
+
+    >>> print(inclusion_dependency("CityE", "country", "CountryE"))
+    V in CountryE <= X in CityE, V = X.country;
+    """
+    path = _as_path(path)
+    body = (MemberAtom(Var("X"), class_name),
+            EqAtom(Var("V"), _proj(Var("X"), path)))
+    return Clause((MemberAtom(Var("V"), target_class),), body,
+                  name=name or f"incl_{class_name}_{'_'.join(path)}",
+                  kind=KIND_CONSTRAINT)
+
+
+def existence_dependency(class_name: str, set_attr: str,
+                         name: Optional[str] = None) -> Clause:
+    """The set-valued attribute is non-empty (at-least-one cardinality).
+
+    >>> print(existence_dependency("Sequence", "method"))
+    E in X.method <= X in Sequence;
+    """
+    head = (InAtom(Var("E"), Proj(Var("X"), set_attr)),)
+    body = (MemberAtom(Var("X"), class_name),)
+    return Clause(head, body,
+                  name=name or f"some_{class_name}_{set_attr}",
+                  kind=KIND_CONSTRAINT)
+
+
+def at_most_one(class_name: str, set_attr: str,
+                name: Optional[str] = None) -> Clause:
+    """The set-valued attribute holds at most one element.
+
+    >>> print(at_most_one("Sequence", "method"))
+    E1 = E2 <= X in Sequence, E1 in X.method, E2 in X.method;
+    """
+    body = (MemberAtom(Var("X"), class_name),
+            InAtom(Var("E1"), Proj(Var("X"), set_attr)),
+            InAtom(Var("E2"), Proj(Var("X"), set_attr)))
+    return Clause((EqAtom(Var("E1"), Var("E2")),), body,
+                  name=name or f"atmostone_{class_name}_{set_attr}",
+                  kind=KIND_CONSTRAINT)
+
+
+def specialization(sub_class: str, super_class: str,
+                   shared_paths: Sequence,
+                   name: Optional[str] = None) -> Clause:
+    """Specialisation as a constraint (paper Section 2: inheritance is
+    "a special kind of constraint"): for every ``sub_class`` object there
+    is a ``super_class`` object agreeing on the shared paths.
+
+    >>> print(specialization("Capital", "City", ["name"]))
+    Y in City, Y.name = X.name <= X in Capital;
+    """
+    head: List = [MemberAtom(Var("Y"), super_class)]
+    for path in shared_paths:
+        path = _as_path(path)
+        head.append(EqAtom(_proj(Var("Y"), path), _proj(Var("X"), path)))
+    body = (MemberAtom(Var("X"), sub_class),)
+    return Clause(tuple(head), body,
+                  name=name or f"isa_{sub_class}_{super_class}",
+                  kind=KIND_CONSTRAINT)
+
+
+def attribute_value(class_name: str, path, value,
+                    name: Optional[str] = None) -> Clause:
+    """Every object's ``path`` equals a constant (a domain restriction).
+
+    >>> print(attribute_value("StateA", "country", "USA"))
+    X.country = "USA" <= X in StateA;
+    """
+    from ..lang.ast import Const
+    path = _as_path(path)
+    head = (EqAtom(_proj(Var("X"), path), Const(value)),)
+    body = (MemberAtom(Var("X"), class_name),)
+    return Clause(head, body,
+                  name=name or f"value_{class_name}_{'_'.join(path)}",
+                  kind=KIND_CONSTRAINT)
+
+
+def inverse_attributes(class_a: str, attr_a: str,
+                       class_b: str, attr_b: str,
+                       name: Optional[str] = None) -> Clause:
+    """``attr_a``/``attr_b`` are mutually inverse references — the shape
+    of the paper's (C11) (``spouse`` symmetric) and (C1).
+
+    >>> print(inverse_attributes("Person", "spouse", "Person", "spouse"))
+    Y.spouse = X <= Y in Person, X in Person, X.spouse = Y;
+    """
+    head = (EqAtom(Proj(Var("Y"), attr_b), Var("X")),)
+    body = (MemberAtom(Var("Y"), class_b),
+            MemberAtom(Var("X"), class_a),
+            EqAtom(Proj(Var("X"), attr_a), Var("Y")))
+    return Clause(head, body,
+                  name=name or f"inv_{class_a}_{attr_a}",
+                  kind=KIND_CONSTRAINT)

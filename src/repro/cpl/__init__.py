@@ -1,0 +1,17 @@
+"""Miniature CPL: Morphase's execution backend (paper Section 5)."""
+
+from .ast import (CplProgram, EBinOp, EConst, EExtent, EField, EIsVariant,
+                  EMkOid, ERecord, EVar, EVariant, EVariantPayload, Expr,
+                  Filter, Generator, Insert, LetBind, Qualifier)
+from .interp import CplRuntimeError, eval_expr, run_cpl, solutions
+from .translate import (CplTranslationError, translate_body,
+                        translate_clause, translate_program)
+
+__all__ = [
+    "CplProgram", "EBinOp", "EConst", "EExtent", "EField", "EIsVariant",
+    "EMkOid", "ERecord", "EVar", "EVariant", "EVariantPayload", "Expr",
+    "Filter", "Generator", "Insert", "LetBind", "Qualifier",
+    "CplRuntimeError", "eval_expr", "run_cpl", "solutions",
+    "CplTranslationError", "translate_body", "translate_clause",
+    "translate_program",
+]

@@ -1,0 +1,215 @@
+"""A miniature CPL: the Collection Programming Language target of Morphase.
+
+The real CPL (Buneman et al., the Kleisli system) is a comprehension-based
+language over complex values.  Morphase compiles normal-form WOL programs
+into CPL for execution (paper Section 5, Figure 6).  This module implements
+the fragment that translated normal-form WOL needs:
+
+* expressions: variables, constants, record/variant construction, field
+  projection (with implicit oid dereference), Skolem oid construction,
+  equality/order primitives, class extents;
+* comprehension qualifiers: generators ``X <- e``, bindings ``let X = e``,
+  filters;
+* insert statements: for each solution of a qualifier list, insert an
+  object with a given identity and attribute values into a target class.
+
+Programs pretty-print to a readable CPL-ish source form (:meth:`Program
+.source`), mirroring how Morphase emitted CPL text for Kleisli.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of CPL expressions."""
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EConst(Expr):
+    value: object
+
+    def __str__(self) -> str:
+        from ..model.values import format_value
+        return format_value(self.value)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ERecord(Expr):
+    fields: Tuple[Tuple[str, Expr], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label} = {expr}" for label, expr in self.fields)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class EVariant(Expr):
+    label: str
+    payload: Expr
+
+    def __str__(self) -> str:
+        return f"<{self.label}: {self.payload}>"
+
+
+@dataclass(frozen=True)
+class EField(Expr):
+    """Projection; dereferences object identities like WOL's ``x.a``."""
+
+    subject: Expr
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.subject}.{self.label}"
+
+
+@dataclass(frozen=True)
+class EMkOid(Expr):
+    """Skolem object construction: ``mk[Class](key)``."""
+
+    class_name: str
+    key: Expr
+
+    def __str__(self) -> str:
+        return f"mk[{self.class_name}]({self.key})"
+
+
+@dataclass(frozen=True)
+class EExtent(Expr):
+    """The extent (set of object identities) of a source class."""
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"extent({self.class_name})"
+
+
+@dataclass(frozen=True)
+class EIsVariant(Expr):
+    subject: Expr
+    label: str
+
+    def __str__(self) -> str:
+        return f"is<{self.label}>({self.subject})"
+
+
+@dataclass(frozen=True)
+class EVariantPayload(Expr):
+    subject: Expr
+    label: str
+
+    def __str__(self) -> str:
+        return f"payload<{self.label}>({self.subject})"
+
+
+@dataclass(frozen=True)
+class EBinOp(Expr):
+    """Primitive comparisons: ``==``, ``<>``, ``<``, ``<=``, ``in``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = ("==", "<>", "<", "<=", "in")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown CPL operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Qualifiers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Qualifier:
+    """Base class of comprehension qualifiers."""
+
+
+@dataclass(frozen=True)
+class Generator(Qualifier):
+    var: str
+    source: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} <- {self.source}"
+
+
+@dataclass(frozen=True)
+class LetBind(Qualifier):
+    var: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"let {self.var} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Filter(Qualifier):
+    condition: Expr
+
+    def __str__(self) -> str:
+        return str(self.condition)
+
+
+# ----------------------------------------------------------------------
+# Statements and programs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert one object (and/or attribute values) per qualifier solution.
+
+    ``identity`` evaluates to the object identity; ``attributes`` map
+    attribute names to value expressions; ``set_inserts`` accumulate
+    elements into set-valued attributes.
+    """
+
+    class_name: str
+    identity: Expr
+    attributes: Tuple[Tuple[str, Expr], ...]
+    qualifiers: Tuple[Qualifier, ...]
+    set_inserts: Tuple[Tuple[str, Expr], ...] = ()
+    comment: Optional[str] = None
+
+    def source(self) -> str:
+        lines: List[str] = []
+        if self.comment:
+            lines.append(f"-- {self.comment}")
+        lines.append(f"insert {self.class_name}")
+        parts = [f"identity = {self.identity}"]
+        parts += [f"{label} = {expr}" for label, expr in self.attributes]
+        parts += [f"{label} += {expr}" for label, expr in self.set_inserts]
+        lines.append("  { " + ",\n    ".join(parts))
+        if self.qualifiers:
+            quals = ",\n    ".join(str(q) for q in self.qualifiers)
+            lines.append("  | " + quals)
+        lines.append("  };")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CplProgram:
+    """A sequence of insert statements (one or more per WOL clause)."""
+
+    inserts: Tuple[Insert, ...]
+
+    def source(self) -> str:
+        return "\n\n".join(insert.source() for insert in self.inserts)
+
+    def __len__(self) -> int:
+        return len(self.inserts)

@@ -1,0 +1,281 @@
+"""Translation of normal-form WOL into CPL (paper Section 5, Figure 6).
+
+"Once translated into normal-form, a WOL program can be executed against
+the source databases to produce the target database.  Complete, normal-form
+WOL programs are compiled into CPL."
+
+Each normal-form clause becomes one insert statement per created object:
+the clause body translates to comprehension qualifiers (class extents as
+generators, definitions as ``let``, conditions as filters) and the head's
+Skolem identity plus attribute assignments become the insert payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.executor import ExecutionError, _HeadPlan
+from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
+                        MemberAtom, NeqAtom, Program, Proj, RecordTerm,
+                        SkolemTerm, Term, Var, VariantTerm)
+from ..model.schema import Schema
+from .ast import (CplProgram, EBinOp, EConst, EExtent, EField, EIsVariant,
+                  EMkOid, ERecord, EVar, EVariant, EVariantPayload, Expr,
+                  Filter, Generator, Insert, LetBind, Qualifier)
+
+
+class CplTranslationError(Exception):
+    """Raised when a clause is not in translatable normal form."""
+
+
+def _skolem_key_expr(skolem: SkolemTerm, bound: Set[str]) -> Expr:
+    """The key expression packed into a Skolem oid (mirrors
+    :func:`repro.semantics.eval.skolem_key`)."""
+    args = list(skolem.args)
+    if not args:
+        return ERecord(())
+    if args[0][0] is None:
+        if len(args) == 1:
+            return _expr(args[0][1], bound)
+        return ERecord(tuple(
+            (f"arg{index}", _expr(term, bound))
+            for index, (_, term) in enumerate(args)))
+    return ERecord(tuple(
+        (label, _expr(term, bound)) for label, term in args))
+
+
+def _expr(term: Term, bound: Set[str]) -> Expr:
+    """Translate a term whose variables are all bound."""
+    if isinstance(term, Var):
+        if term.name not in bound:
+            raise CplTranslationError(f"unbound variable {term.name}")
+        return EVar(term.name)
+    if isinstance(term, Const):
+        return EConst(term.value)
+    if isinstance(term, Proj):
+        return EField(_expr(term.subject, bound), term.attr)
+    if isinstance(term, VariantTerm):
+        return EVariant(term.label, _expr(term.payload, bound))
+    if isinstance(term, RecordTerm):
+        return ERecord(tuple(
+            (label, _expr(value, bound)) for label, value in term.fields))
+    if isinstance(term, SkolemTerm):
+        return EMkOid(term.class_name, _skolem_key_expr(term, bound))
+    raise CplTranslationError(f"cannot translate term {term!r}")
+
+
+def _is_translatable(term: Term, bound: Set[str]) -> bool:
+    return all(name in bound for name in term.variables())
+
+
+def translate_body(body: Sequence[Atom],
+                   source_classes: Set[str]) -> Tuple[Qualifier, ...]:
+    """Order body atoms into comprehension qualifiers."""
+    pending: List[Atom] = list(body)
+    bound: Set[str] = set()
+    qualifiers: List[Qualifier] = []
+
+    def try_translate(atom: Atom) -> bool:
+        if isinstance(atom, MemberAtom):
+            if not isinstance(atom.element, Var):
+                return False
+            if atom.class_name not in source_classes:
+                raise CplTranslationError(
+                    f"body mentions non-source class {atom.class_name}")
+            if atom.element.name in bound:
+                qualifiers.append(Filter(EBinOp(
+                    "in", EVar(atom.element.name),
+                    EExtent(atom.class_name))))
+            else:
+                qualifiers.append(Generator(atom.element.name,
+                                            EExtent(atom.class_name)))
+                bound.add(atom.element.name)
+            return True
+        if isinstance(atom, EqAtom):
+            left, right = atom.left, atom.right
+            left_ok = _is_translatable(left, bound)
+            right_ok = _is_translatable(right, bound)
+            if left_ok and right_ok:
+                qualifiers.append(Filter(EBinOp(
+                    "==", _expr(left, bound), _expr(right, bound))))
+                return True
+            if (isinstance(left, Var) and left.name not in bound
+                    and right_ok):
+                qualifiers.append(LetBind(left.name, _expr(right, bound)))
+                bound.add(left.name)
+                return True
+            if left_ok and isinstance(right, VariantTerm) \
+                    and isinstance(right.payload, Var) \
+                    and right.payload.name not in bound:
+                subject = _expr(left, bound)
+                qualifiers.append(Filter(EIsVariant(subject, right.label)))
+                qualifiers.append(LetBind(
+                    right.payload.name,
+                    EVariantPayload(subject, right.label)))
+                bound.add(right.payload.name)
+                return True
+            if left_ok and isinstance(right, RecordTerm):
+                subject = _expr(left, bound)
+                for label, value in right.fields:
+                    if isinstance(value, Var) and value.name not in bound:
+                        qualifiers.append(LetBind(
+                            value.name, EField(subject, label)))
+                        bound.add(value.name)
+                    else:
+                        qualifiers.append(Filter(EBinOp(
+                            "==", _expr(value, bound),
+                            EField(subject, label))))
+                return True
+            return False
+        if isinstance(atom, InAtom):
+            if not _is_translatable(atom.collection, bound):
+                return False
+            collection = _expr(atom.collection, bound)
+            if (isinstance(atom.element, Var)
+                    and atom.element.name not in bound):
+                qualifiers.append(Generator(atom.element.name, collection))
+                bound.add(atom.element.name)
+                return True
+            if _is_translatable(atom.element, bound):
+                qualifiers.append(Filter(EBinOp(
+                    "in", _expr(atom.element, bound), collection)))
+                return True
+            return False
+        if isinstance(atom, (NeqAtom, LtAtom, LeqAtom)):
+            if not (_is_translatable(atom.left, bound)
+                    and _is_translatable(atom.right, bound)):
+                return False
+            op = {"NeqAtom": "<>", "LtAtom": "<",
+                  "LeqAtom": "<="}[type(atom).__name__]
+            qualifiers.append(Filter(EBinOp(
+                op, _expr(atom.left, bound), _expr(atom.right, bound))))
+            return True
+        raise CplTranslationError(f"unknown atom kind {atom!r}")
+
+    while pending:
+        progressed = False
+        for index, atom in enumerate(pending):
+            if try_translate(atom):
+                del pending[index]
+                progressed = True
+                break
+        if not progressed:
+            raise CplTranslationError(
+                "cannot order body atoms for translation: "
+                + ", ".join(str(a) for a in pending))
+    return tuple(qualifiers)
+
+
+def translate_clause(clause: Clause, target_schema: Schema,
+                     source_classes: Set[str]) -> List[Insert]:
+    """Translate one normal-form clause into insert statements."""
+    try:
+        plan = _HeadPlan(clause, target_schema)
+    except ExecutionError as exc:
+        raise CplTranslationError(str(exc)) from exc
+    if plan.checks:
+        raise CplTranslationError(
+            f"clause {clause.name or clause}: residual head checks "
+            f"{[str(c) for c in plan.checks]} are not translatable")
+
+    qualifiers = list(translate_body(clause.body, source_classes))
+    bound: Set[str] = set()
+    for qualifier in qualifiers:
+        if isinstance(qualifier, (Generator, LetBind)):
+            bound.add(qualifier.var)
+
+    for var, skolem in plan.identity_order:
+        if var in bound:
+            qualifiers.append(Filter(EBinOp(
+                "==", EVar(var),
+                EMkOid(skolem.class_name,
+                       _skolem_key_expr(skolem, bound)))))
+        else:
+            qualifiers.append(LetBind(var, EMkOid(
+                skolem.class_name, _skolem_key_expr(skolem, bound))))
+            bound.add(var)
+
+    inserts: List[Insert] = []
+    for var, class_name in sorted(plan.created.items()):
+        if var not in bound:
+            raise CplTranslationError(
+                f"clause {clause.name or clause}: created object {var} "
+                f"has no Skolem identity; not in normal form")
+        attributes = tuple(
+            (attr, _expr(value, bound))
+            for subject, attr, value in plan.assignments
+            if subject == var)
+        set_inserts = tuple(
+            (attr, _expr(element, bound))
+            for subject, attr, element in plan.insertions
+            if subject == var)
+        inserts.append(Insert(
+            class_name=class_name,
+            identity=EVar(var),
+            attributes=attributes,
+            qualifiers=tuple(qualifiers),
+            set_inserts=set_inserts,
+            comment=f"from clause {clause.name}" if clause.name else None))
+
+    orphan_assignments = [
+        (subject, attr) for subject, attr, _ in plan.assignments
+        if subject not in plan.created]
+    if orphan_assignments:
+        raise CplTranslationError(
+            f"clause {clause.name or clause}: assignments to objects not "
+            f"created here: {orphan_assignments}")
+
+    # Set insertions into objects *not* created by this clause (their
+    # identity comes from a body Skolem definition) become their own
+    # accumulation inserts.
+    orphan_inserts: Dict[str, List[Tuple[str, Expr]]] = {}
+    for subject, attr, element in plan.insertions:
+        if subject in plan.created:
+            continue
+        orphan_inserts.setdefault(subject, []).append(
+            (attr, _expr(element, bound)))
+    for subject, set_entries in sorted(orphan_inserts.items()):
+        class_name = _subject_class(clause, subject)
+        if class_name is None:
+            raise CplTranslationError(
+                f"clause {clause.name or clause}: cannot determine the "
+                f"class of insertion subject {subject}")
+        inserts.append(Insert(
+            class_name=class_name,
+            identity=EVar(subject),
+            attributes=(),
+            qualifiers=tuple(qualifiers),
+            set_inserts=tuple(set_entries),
+            comment=(f"accumulation from clause {clause.name}"
+                     if clause.name else None)))
+    return inserts
+
+
+def _subject_class(clause: Clause, subject: str) -> Optional[str]:
+    """The class of a variable bound by a body Skolem definition."""
+    for atom in clause.body:
+        if (isinstance(atom, EqAtom) and isinstance(atom.left, Var)
+                and atom.left.name == subject
+                and isinstance(atom.right, SkolemTerm)):
+            return atom.right.class_name
+    return None
+
+
+def translate_program(program: Program,
+                      target_schema: Schema,
+                      source_classes: Optional[Set[str]] = None
+                      ) -> CplProgram:
+    """Translate a whole normal-form program."""
+    if source_classes is None:
+        # Everything mentioned in bodies that is not a target class.
+        source_classes = set()
+        for clause in program:
+            for atom in clause.body:
+                if isinstance(atom, MemberAtom):
+                    source_classes.add(atom.class_name)
+        source_classes -= set(target_schema.class_names())
+    inserts: List[Insert] = []
+    for clause in program:
+        inserts.extend(
+            translate_clause(clause, target_schema, set(source_classes)))
+    return CplProgram(tuple(inserts))

@@ -1,0 +1,5 @@
+"""One-pass execution of normal-form WOL programs."""
+
+from .executor import (ExecutionError, ExecutionStats, Executor, execute)
+
+__all__ = ["ExecutionError", "ExecutionStats", "Executor", "execute"]

@@ -1,0 +1,402 @@
+"""One-pass execution of normal-form WOL programs (paper Section 5).
+
+A normal-form transformation program "can easily be implemented in a single
+pass" because every clause reads only source classes and completely
+describes a target insert.  The executor:
+
+1. enumerates body solutions with the shared conjunctive matcher
+   (:class:`repro.semantics.match.Matcher`) over the source instance;
+2. evaluates each head: Skolem identities become keyed object identities
+   (idempotent creation), attribute assignments accumulate on the keyed
+   objects, set-valued attributes collect inserted elements;
+3. detects *conflicts* (two firings disagreeing on an attribute value —
+   the program is not functional) and, at freeze time, *incompleteness*
+   (an object missing required attributes — the program is not complete,
+   Section 3.2).
+
+The executor is deliberately independent of the normaliser: any program
+whose clause bodies mention only source classes can be run, which is what
+lets tests compare direct execution against the WOL->CPL->interpreter path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..lang.ast import (Atom, Clause, EqAtom, InAtom, MemberAtom, Program,
+                        Proj, SkolemTerm, Term, Var)
+from ..model.instance import Instance, InstanceBuilder, InstanceError
+from ..model.schema import Schema
+from ..model.types import RecordType, SetType
+from ..model.values import Oid, Record, Value, WolSet, format_value
+from ..semantics.eval import Binding, EvalError, evaluate
+from ..semantics.match import Matcher
+
+
+class ExecutionError(Exception):
+    """Raised on conflicting or ill-formed inserts."""
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for one execution run (benchmark E5 reads these)."""
+
+    clauses_run: int = 0
+    bindings_found: int = 0
+    objects_created: int = 0
+    attributes_set: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class _PendingObject:
+    class_name: str
+    oid: Oid
+    attributes: Dict[str, Value] = field(default_factory=dict)
+    set_attributes: Dict[str, Set[Value]] = field(default_factory=dict)
+    provenance: Dict[str, str] = field(default_factory=dict)
+
+
+class Executor:
+    """Runs source-only clauses against a source instance."""
+
+    def __init__(self, source: Instance, target_schema: Schema) -> None:
+        self.source = source
+        self.target_schema = target_schema
+        self._matcher = Matcher(source)
+        self._pending: Dict[Oid, _PendingObject] = {}
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    def run_program(self, program: Iterable[Clause]) -> "Executor":
+        start = time.perf_counter()
+        for clause in program:
+            self.run_clause(clause)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return self
+
+    def run_clause(self, clause: Clause) -> None:
+        """Execute one normal-form clause."""
+        self._check_source_only(clause)
+        plan = _HeadPlan(clause, self.target_schema)
+        self.stats.clauses_run += 1
+        for binding in self._matcher.solutions(clause.body):
+            self.stats.bindings_found += 1
+            self._apply_head(plan, binding, clause)
+
+    def _check_source_only(self, clause: Clause) -> None:
+        source_classes = set(self.source.schema.class_names())
+        for atom in clause.body:
+            if (isinstance(atom, MemberAtom)
+                    and atom.class_name not in source_classes):
+                raise ExecutionError(
+                    f"clause {clause.name or clause}: body mentions "
+                    f"non-source class {atom.class_name}; not in normal "
+                    f"form")
+
+    # ------------------------------------------------------------------
+    def _apply_head(self, plan: "_HeadPlan", binding: Binding,
+                    clause: Clause) -> None:
+        label = clause.name or str(clause)
+        # 1. Evaluate identities for created objects (fixpoint order).
+        local = dict(binding)
+        for var, skolem in plan.identity_order:
+            try:
+                oid = evaluate(skolem, local, self.source)
+            except EvalError as exc:
+                raise ExecutionError(
+                    f"clause {label}: cannot evaluate identity "
+                    f"{skolem}: {exc}") from exc
+            assert isinstance(oid, Oid)
+            if var in local and local[var] != oid:
+                raise ExecutionError(
+                    f"clause {label}: identity mismatch for {var}: body "
+                    f"binds {local[var]} but the head identity is {oid}")
+            local[var] = oid
+
+        # 2. Create objects.
+        for var, class_name in plan.created.items():
+            oid = local.get(var)
+            if not isinstance(oid, Oid):
+                raise ExecutionError(
+                    f"clause {label}: created object {var} has no "
+                    f"identity")
+            if oid.class_name != class_name:
+                raise ExecutionError(
+                    f"clause {label}: identity {oid} does not belong to "
+                    f"class {class_name}")
+            self._ensure_object(oid)
+
+        # 3. Assignments.
+        for var, attr, value_term in plan.assignments:
+            oid = local.get(var)
+            if not isinstance(oid, Oid):
+                raise ExecutionError(
+                    f"clause {label}: assignment to {var}.{attr} but "
+                    f"{var} is not an object")
+            try:
+                value = evaluate(value_term, local, self.source)
+            except EvalError as exc:
+                raise ExecutionError(
+                    f"clause {label}: cannot evaluate value of "
+                    f"{var}.{attr}: {exc}") from exc
+            self._set_attribute(oid, attr, value, label)
+
+        # 4. Set insertions.
+        for var, attr, element_term in plan.insertions:
+            oid = local.get(var)
+            if not isinstance(oid, Oid):
+                raise ExecutionError(
+                    f"clause {label}: insertion into {var}.{attr} but "
+                    f"{var} is not an object")
+            try:
+                element = evaluate(element_term, local, self.source)
+            except EvalError as exc:
+                raise ExecutionError(
+                    f"clause {label}: cannot evaluate element of "
+                    f"{var}.{attr}: {exc}") from exc
+            pending = self._ensure_object(oid)
+            pending.set_attributes.setdefault(attr, set()).add(element)
+            self.stats.attributes_set += 1
+
+        # 5. Residual checks (equalities between evaluated values).
+        for check in plan.checks:
+            try:
+                left = evaluate(check.left, local, self.source)
+                right = evaluate(check.right, local, self.source)
+            except EvalError as exc:
+                raise ExecutionError(
+                    f"clause {label}: cannot evaluate head check "
+                    f"{check}: {exc}") from exc
+            if left != right:
+                raise ExecutionError(
+                    f"clause {label}: head check {check} failed "
+                    f"({format_value(left)} != {format_value(right)})")
+
+    def provenance(self) -> Dict[Oid, Dict[str, str]]:
+        """Which clause derived each attribute of each pending object.
+
+        Normal-form clause names encode their ancestry (e.g. ``T1+T3``),
+        so this answers "where did this value come from?" for debugging
+        transformation programs.
+        """
+        return {oid: dict(pending.provenance)
+                for oid, pending in self._pending.items()}
+
+    def explain(self, oid: Oid) -> str:
+        """A human-readable derivation summary for one object."""
+        pending = self._pending.get(oid)
+        if pending is None:
+            return f"{oid}: not derived by this execution"
+        lines = [f"{oid}:"]
+        for attr in sorted(set(pending.attributes)
+                           | set(pending.set_attributes)):
+            source = pending.provenance.get(attr, "<set accumulation>")
+            lines.append(f"  .{attr} from clause {source}")
+        return "\n".join(lines)
+
+    def _ensure_object(self, oid: Oid) -> _PendingObject:
+        pending = self._pending.get(oid)
+        if pending is None:
+            if not self.target_schema.has_class(oid.class_name):
+                raise ExecutionError(
+                    f"object {oid} belongs to no target class")
+            pending = _PendingObject(oid.class_name, oid)
+            self._pending[oid] = pending
+            self.stats.objects_created += 1
+        return pending
+
+    def _set_attribute(self, oid: Oid, attr: str, value: Value,
+                       label: str) -> None:
+        pending = self._ensure_object(oid)
+        existing = pending.attributes.get(attr)
+        if existing is not None and existing != value:
+            raise ExecutionError(
+                f"conflict on {oid}.{attr}: clause {label} derives "
+                f"{format_value(value)} but clause "
+                f"{pending.provenance.get(attr, '?')} derived "
+                f"{format_value(existing)} (the program is not functional)")
+        pending.attributes[attr] = value
+        pending.provenance[attr] = label
+        self.stats.attributes_set += 1
+
+    # ------------------------------------------------------------------
+    def freeze(self, validate: bool = True,
+               defaults: Optional[Mapping[Tuple[str, str], Value]] = None
+               ) -> Instance:
+        """Assemble the target instance.
+
+        With ``validate`` the result is checked for well-formedness; an
+        object with missing attributes indicates an *incomplete*
+        transformation program (Section 3.2) and raises
+        :class:`ExecutionError` with the missing pieces listed.
+
+        ``defaults`` maps ``(class, attribute)`` to a fill-in value for
+        attributes no clause derived — the paper's "insert a default
+        value for the attribute wherever it is omitted" reading of an
+        optional-to-required schema change (Section 1).  WOL itself
+        cannot express absence (no negation), so the default is applied
+        here, after all clauses have run.
+        """
+        defaults = dict(defaults or {})
+        builder = InstanceBuilder(self.target_schema)
+        incomplete: List[str] = []
+        for oid, pending in sorted(self._pending.items(), key=lambda i: str(i[0])):
+            ctype = self.target_schema.class_type(pending.class_name)
+            value: Value
+            if isinstance(ctype, RecordType):
+                fields = dict(pending.attributes)
+                for attr, elements in pending.set_attributes.items():
+                    fields[attr] = WolSet(frozenset(elements))
+                for label, fty in ctype.fields:
+                    if label not in fields and isinstance(fty, SetType):
+                        fields[label] = WolSet(frozenset())
+                for label in ctype.labels():
+                    if label not in fields:
+                        filler = defaults.get((pending.class_name, label))
+                        if filler is not None:
+                            fields[label] = filler
+                missing = [label for label in ctype.labels()
+                           if label not in fields]
+                if missing:
+                    incomplete.append(
+                        f"{oid}: missing attributes {missing}")
+                    continue
+                extra = [label for label in fields
+                         if not ctype.has_field(label)]
+                if extra:
+                    raise ExecutionError(
+                        f"{oid}: attributes {extra} not in class type")
+                value = Record(tuple(fields.items()))
+            else:
+                if list(pending.attributes) != []:
+                    raise ExecutionError(
+                        f"{oid}: attribute assignments on non-record "
+                        f"class {pending.class_name}")
+                raise ExecutionError(
+                    f"class {pending.class_name} has non-record type; "
+                    f"direct value inserts are not supported")
+            builder.put(oid, value)
+        if incomplete and validate:
+            raise ExecutionError(
+                "incomplete transformation (the program does not fully "
+                "describe these objects): " + "; ".join(incomplete))
+        instance = builder.freeze(validate=False)
+        if validate:
+            try:
+                instance.validate()
+            except InstanceError as exc:
+                raise ExecutionError(
+                    f"transformation produced an ill-formed instance: "
+                    f"{exc}") from exc
+        return instance
+
+
+class _HeadPlan:
+    """Decomposition of a normal-form head into executable pieces."""
+
+    def __init__(self, clause: Clause, target_schema: Schema) -> None:
+        self.created: Dict[str, str] = {}
+        identities: Dict[str, SkolemTerm] = {}
+        self.assignments: List[Tuple[str, str, Term]] = []
+        self.insertions: List[Tuple[str, str, Term]] = []
+        self.checks: List[EqAtom] = []
+
+        set_collectors: Dict[str, Tuple[str, str]] = {}
+
+        for atom in clause.head:
+            if isinstance(atom, MemberAtom):
+                if not isinstance(atom.element, Var):
+                    raise ExecutionError(
+                        f"head membership with non-variable element: {atom}")
+                if not target_schema.has_class(atom.class_name):
+                    raise ExecutionError(
+                        f"head creates object in unknown class "
+                        f"{atom.class_name}")
+                self.created[atom.element.name] = atom.class_name
+            elif isinstance(atom, EqAtom):
+                if (isinstance(atom.left, Var)
+                        and isinstance(atom.right, SkolemTerm)):
+                    identities[atom.left.name] = atom.right
+                elif (isinstance(atom.right, Proj)
+                        and isinstance(atom.right.subject, Var)):
+                    subject = atom.right.subject.name
+                    attr = atom.right.attr
+                    # A pair  V = X.attr  plus  E in V  encodes insertion.
+                    if isinstance(atom.left, Var):
+                        set_collectors[atom.left.name] = (subject, attr)
+                    self.assignments.append((subject, attr, atom.left))
+                elif (isinstance(atom.left, Proj)
+                        and isinstance(atom.left.subject, Var)):
+                    self.assignments.append(
+                        (atom.left.subject.name, atom.left.attr,
+                         atom.right))
+                else:
+                    self.checks.append(atom)
+            elif isinstance(atom, InAtom):
+                if isinstance(atom.collection, Var) and (
+                        atom.collection.name in set_collectors):
+                    subject, attr = set_collectors[atom.collection.name]
+                    self.insertions.append((subject, attr, atom.element))
+                elif (isinstance(atom.collection, Proj)
+                        and isinstance(atom.collection.subject, Var)):
+                    self.insertions.append(
+                        (atom.collection.subject.name,
+                         atom.collection.attr, atom.element))
+                else:
+                    raise ExecutionError(
+                        f"unsupported head insertion: {atom}")
+            else:
+                raise ExecutionError(
+                    f"unsupported head atom in normal form: {atom}")
+
+        # Remove assignment entries that were really set collectors.
+        self.assignments = [
+            (subject, attr, value) for subject, attr, value in self.assignments
+            if not (isinstance(value, Var)
+                    and value.name in set_collectors
+                    and set_collectors[value.name] == (subject, attr)
+                    and any(ins_subject == subject and ins_attr == attr
+                            for ins_subject, ins_attr, _ in self.insertions))]
+
+        # Identity evaluation order: an identity may reference another
+        # created object (e.g. a keyed city embeds its keyed country).
+        self.identity_order = _order_identities(identities, self.created)
+
+
+def _order_identities(identities: Dict[str, SkolemTerm],
+                      created: Dict[str, str]
+                      ) -> List[Tuple[str, SkolemTerm]]:
+    ordered: List[Tuple[str, SkolemTerm]] = []
+    placed: Set[str] = set()
+    remaining = dict(identities)
+    for _ in range(len(identities) + 1):
+        progressed = False
+        for var, skolem in sorted(remaining.items()):
+            depends = {name for name in skolem.variables()
+                       if name in identities and name not in placed
+                       and name != var}
+            if not depends:
+                ordered.append((var, skolem))
+                placed.add(var)
+                del remaining[var]
+                progressed = True
+        if not progressed:
+            break
+    if remaining:
+        raise ExecutionError(
+            f"cyclic identity dependencies among {sorted(remaining)}")
+    return ordered
+
+
+def execute(program: Program, source: Instance,
+            target_schema: Schema, validate: bool = True,
+            defaults: Optional[Mapping[Tuple[str, str], Value]] = None
+            ) -> Tuple[Instance, ExecutionStats]:
+    """Run a normal-form program and return (target instance, stats)."""
+    executor = Executor(source, target_schema)
+    executor.run_program(program)
+    return (executor.freeze(validate=validate, defaults=defaults),
+            executor.stats)

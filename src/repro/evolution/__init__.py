@@ -1,0 +1,8 @@
+"""Schema-evolution operators generating WOL programs (paper Section 6
+future work)."""
+
+from .operators import Evolution, EvolutionError, EvolutionResult
+from .diff import DiffError, SchemaDiff, diff_schemas
+
+__all__ = ["Evolution", "EvolutionError", "EvolutionResult",
+           "DiffError", "SchemaDiff", "diff_schemas"]

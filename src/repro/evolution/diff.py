@@ -1,0 +1,217 @@
+"""Schema diffing: propose evolution operators from two schema versions.
+
+The front half of the paper's imagined "graphical schema manipulation
+tools generating WOL transformation programs" (Section 6): given the old
+and the new version of a schema, detect what changed — added, dropped and
+renamed attributes, optional attributes made required — and assemble the
+corresponding :class:`~repro.evolution.operators.Evolution`, from which the
+WOL program follows.
+
+Heuristics are deliberately conservative: an attribute counts as *renamed*
+only when exactly one dropped and one added attribute share a type; an
+optional-to-required change is recognised as ``{tau}`` becoming ``tau``.
+Everything the diff cannot decide (the policy for optional-to-required,
+defaults for added attributes) is surfaced as a required decision rather
+than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..model.keys import KeyedSchema
+from ..model.schema import Schema
+from ..model.types import RecordType, SetType, Type
+from ..model.values import Value
+from .operators import Evolution, EvolutionError
+
+
+class DiffError(Exception):
+    """Raised when a diff cannot be turned into operators."""
+
+
+@dataclass
+class ClassDiff:
+    """Changes to one class present in both versions."""
+
+    class_name: str
+    added: Dict[str, Type] = field(default_factory=dict)
+    dropped: Dict[str, Type] = field(default_factory=dict)
+    renamed: Dict[str, str] = field(default_factory=dict)
+    made_required: Dict[str, Type] = field(default_factory=dict)
+    retyped: Dict[str, Tuple[Type, Type]] = field(default_factory=dict)
+
+    @property
+    def unchanged(self) -> bool:
+        return not (self.added or self.dropped or self.renamed
+                    or self.made_required or self.retyped)
+
+
+@dataclass
+class SchemaDiff:
+    """The full diff between two schema versions."""
+
+    old: KeyedSchema
+    new: KeyedSchema
+    shared: Dict[str, ClassDiff] = field(default_factory=dict)
+    added_classes: List[str] = field(default_factory=list)
+    dropped_classes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def decisions_needed(self) -> List[str]:
+        """Choices the user must make before a program can be generated."""
+        needed: List[str] = []
+        for diff in self.shared.values():
+            for attr in sorted(diff.made_required):
+                needed.append(
+                    f"{diff.class_name}.{attr} became required: choose "
+                    f"policy 'delete' or 'default' (paper Section 1)")
+            for attr, ty in sorted(diff.added.items()):
+                needed.append(
+                    f"{diff.class_name}.{attr} was added (type {ty}): "
+                    f"provide a default value")
+            for attr, (old_ty, new_ty) in sorted(diff.retyped.items()):
+                needed.append(
+                    f"{diff.class_name}.{attr} changed type "
+                    f"{old_ty} -> {new_ty}: not automatable")
+        return needed
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        for cname in sorted(self.shared):
+            diff = self.shared[cname]
+            if diff.unchanged:
+                lines.append(f"{cname}: unchanged")
+                continue
+            parts = []
+            if diff.renamed:
+                parts.append("renamed " + ", ".join(
+                    f"{old}->{new}" for old, new in
+                    sorted(diff.renamed.items())))
+            if diff.dropped:
+                parts.append("dropped " + ", ".join(sorted(diff.dropped)))
+            if diff.added:
+                parts.append("added " + ", ".join(sorted(diff.added)))
+            if diff.made_required:
+                parts.append("made required " + ", ".join(
+                    sorted(diff.made_required)))
+            if diff.retyped:
+                parts.append("retyped " + ", ".join(sorted(diff.retyped)))
+            lines.append(f"{cname}: " + "; ".join(parts))
+        for cname in self.added_classes:
+            lines.append(f"{cname}: new class (not automatable)")
+        for cname in self.dropped_classes:
+            lines.append(f"{cname}: dropped")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_evolution(self,
+                     policies: Optional[Mapping[Tuple[str, str], str]] = None,
+                     defaults: Optional[Mapping[Tuple[str, str], Value]] = None,
+                     target_name: Optional[str] = None) -> Evolution:
+        """Assemble the Evolution implementing this diff.
+
+        ``policies`` supplies ``(class, attr) -> 'delete'|'default'`` for
+        optional-to-required changes; ``defaults`` supplies values both
+        for the 'default' policy and for added attributes.  Missing
+        decisions raise :class:`DiffError` listing what is needed.
+        """
+        policies = dict(policies or {})
+        defaults = dict(defaults or {})
+        if self.added_classes:
+            raise DiffError(
+                f"new classes {self.added_classes} need hand-written "
+                f"clauses; remove them from the target or write WOL")
+        for diff in self.shared.values():
+            if diff.retyped:
+                raise DiffError(
+                    f"class {diff.class_name}: type changes "
+                    f"{sorted(diff.retyped)} are not automatable")
+
+        evolution = Evolution(self.old,
+                              target_name or self.new.schema.name)
+        for cname in sorted(self.shared):
+            diff = self.shared[cname]
+            adds = {}
+            for attr, ty in diff.added.items():
+                value = defaults.get((cname, attr))
+                if value is None:
+                    raise DiffError(
+                        f"{cname}.{attr} was added: provide a default "
+                        f"via defaults[({cname!r}, {attr!r})]")
+                adds[attr] = (ty, value)
+            evolution.copy_class(
+                cname,
+                renames=diff.renamed,
+                drops=tuple(sorted(diff.dropped)),
+                adds=adds)
+            for attr in sorted(diff.made_required):
+                policy = policies.get((cname, attr))
+                if policy is None:
+                    raise DiffError(
+                        f"{cname}.{attr} became required: choose a "
+                        f"policy via policies[({cname!r}, {attr!r})]")
+                evolution.make_required(
+                    cname, attr, policy,
+                    default=defaults.get((cname, attr)))
+        return evolution
+
+
+def diff_schemas(old: KeyedSchema, new: KeyedSchema) -> SchemaDiff:
+    """Compute the conservative diff between two keyed schemas."""
+    result = SchemaDiff(old, new)
+    old_names = set(old.schema.class_names())
+    new_names = set(new.schema.class_names())
+    result.added_classes = sorted(new_names - old_names)
+    result.dropped_classes = sorted(old_names - new_names)
+
+    for cname in sorted(old_names & new_names):
+        old_type = old.schema.class_type(cname)
+        new_type = new.schema.class_type(cname)
+        if not (isinstance(old_type, RecordType)
+                and isinstance(new_type, RecordType)):
+            raise DiffError(
+                f"class {cname}: only record-typed classes can be "
+                f"diffed")
+        result.shared[cname] = _diff_class(cname, old_type, new_type)
+    return result
+
+
+def _diff_class(cname: str, old_type: RecordType,
+                new_type: RecordType) -> ClassDiff:
+    diff = ClassDiff(cname)
+    old_fields = dict(old_type.fields)
+    new_fields = dict(new_type.fields)
+
+    for attr in sorted(set(old_fields) & set(new_fields)):
+        old_ty, new_ty = old_fields[attr], new_fields[attr]
+        if old_ty == new_ty:
+            continue
+        if isinstance(old_ty, SetType) and old_ty.element == new_ty:
+            diff.made_required[attr] = new_ty
+        else:
+            diff.retyped[attr] = (old_ty, new_ty)
+    dropped = {attr: old_fields[attr]
+               for attr in set(old_fields) - set(new_fields)}
+    added = {attr: new_fields[attr]
+             for attr in set(new_fields) - set(old_fields)}
+
+    # Conservative rename detection: a unique dropped/added pair with
+    # exactly the same type.
+    for old_attr in sorted(dropped):
+        ty = dropped[old_attr]
+        matches = [new_attr for new_attr, new_ty in sorted(added.items())
+                   if new_ty == ty]
+        if len(matches) == 1:
+            dropped_match = [a for a, t in dropped.items()
+                             if t == ty]
+            if len(dropped_match) == 1:
+                diff.renamed[old_attr] = matches[0]
+                del added[matches[0]]
+    for old_attr in diff.renamed:
+        dropped.pop(old_attr, None)
+
+    diff.dropped = dropped
+    diff.added = added
+    return diff

@@ -1,0 +1,576 @@
+"""Schema-evolution operators that generate WOL programs.
+
+The paper closes with: "there is a potential for graphical schema
+manipulation tools generating WOL transformation programs" (Section 6),
+and its introduction criticises schema-manipulation approaches that
+"neglect to describe the effect of the transformations on the actual
+data", noting that a single manipulation admits several readings — e.g.
+making an optional attribute required can mean "insert a default value"
+or "delete any objects" (Section 1).
+
+This module is that tool's backend: each operator records a schema
+manipulation, and :meth:`Evolution.build` emits the evolved schema *plus*
+the WOL transformation program that gives the manipulation a precise,
+inspectable data semantics.  The two readings of optional-to-required are
+both available (``policy="delete"`` / ``policy="default"``).
+
+Supported operators:
+
+=====================  ===================================================
+operator               effect
+=====================  ===================================================
+``copy_class``         copy a class (rename it, rename/drop/add
+                       attributes); references follow the mapping
+``make_required``      optional (set-valued) attribute -> required scalar,
+                       with the delete or default policy
+``split_class``        split a class by a variant attribute (Person ->
+                       Male/Female)
+``reify_reference``    turn a reference attribute into a link class
+                       (spouse -> Marriage)
+=====================  ===================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang.ast import (Clause, EqAtom, InAtom, KIND_TRANSFORMATION,
+                        MemberAtom, Program, Proj, SkolemTerm, Term, Var,
+                        VariantTerm)
+from ..model.keys import KeyFunction, KeySpec, KeyedSchema
+from ..model.schema import Schema, SchemaError
+from ..model.types import (ClassType, RecordType, SetType, Type,
+                           VariantType)
+from ..model.values import Value
+from ..morphase.metadata import key_clause_for
+from ..morphase.system import Morphase
+
+
+class EvolutionError(Exception):
+    """Raised for unsupported or inconsistent operator applications."""
+
+
+@dataclass
+class EvolutionResult:
+    """The evolved schema, the generated program, and fill-in defaults.
+
+    Target classes keeping their source names are built under internal
+    aliases (WOL transformations need disjoint namespaces);
+    ``working_schema``/``program`` use the aliases, ``target_schema`` has
+    the final names, and :meth:`transform` restores them automatically.
+    """
+
+    target_schema: KeyedSchema
+    working_schema: KeyedSchema
+    program: Program
+    defaults: Dict[Tuple[str, str], Value]
+    restore_map: Dict[str, str]
+    optional_attributes: frozenset = frozenset()
+
+    def morphase(self, source: KeyedSchema, **kwargs) -> Morphase:
+        """A Morphase over the *working* (alias) schema."""
+        if "options" not in kwargs:
+            from ..normalization import NormalizationOptions
+            kwargs["options"] = NormalizationOptions(
+                optional_attributes=self.optional_attributes)
+        return Morphase([source], self.working_schema, self.program,
+                        **kwargs)
+
+    def transform(self, source: KeyedSchema, instance, **kwargs):
+        """Run the evolution and restore the final class names."""
+        from ..model.rename import rename_instance_classes
+        morphase = self.morphase(source)
+        defaults = kwargs.pop("defaults", self.defaults)
+        inverted = {public: internal
+                    for internal, public in self.restore_map.items()}
+        working_defaults = {
+            (inverted.get(cname, cname), attr): value
+            for (cname, attr), value in (defaults or {}).items()}
+        result = morphase.transform(instance, defaults=working_defaults,
+                                    **kwargs)
+        if not self.restore_map:
+            return result.target
+        return rename_instance_classes(result.target, self.restore_map)
+
+
+@dataclass
+class _CopySpec:
+    source_class: str
+    target_class: str
+    renames: Dict[str, str]
+    drops: Tuple[str, ...]
+    adds: Dict[str, Tuple[Type, Value]]
+    required: Dict[str, Tuple[str, Optional[Value]]]  # attr -> (policy, default)
+
+
+@dataclass
+class _SplitSpec:
+    source_class: str
+    variant_attr: str
+    mapping: Dict[str, str]  # variant label -> target class
+
+
+@dataclass
+class _ReifySpec:
+    source_class: str
+    attr: str
+    link_class: str
+    subject_target: str
+    object_target: str
+    subject_label: str
+    object_label: str
+    subject_filter: Optional[Tuple[str, str]]  # (variant attr, label)
+    object_filter: Optional[Tuple[str, str]]
+
+
+class Evolution:
+    """Accumulates operators against a keyed source schema."""
+
+    def __init__(self, source: KeyedSchema,
+                 target_name: str = "Evolved") -> None:
+        self.source = source
+        self.target_name = target_name
+        self._copies: List[_CopySpec] = []
+        self._splits: List[_SplitSpec] = []
+        self._reifies: List[_ReifySpec] = []
+        #: source class -> target class(es); split classes map to many.
+        self._class_map: Dict[str, List[str]] = {}
+        #: clauses generated as side effects (optional-attribute copies).
+        self._extra_clauses: List[Clause] = []
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def copy_class(self, source_class: str,
+                   target_class: Optional[str] = None,
+                   renames: Optional[Mapping[str, str]] = None,
+                   drops: Sequence[str] = (),
+                   adds: Optional[Mapping[str, Tuple[Type, Value]]] = None,
+                   ) -> "Evolution":
+        """Copy ``source_class`` (optionally renamed/reshaped)."""
+        self._require_class(source_class)
+        spec = _CopySpec(
+            source_class=source_class,
+            target_class=target_class or source_class,
+            renames=dict(renames or {}),
+            drops=tuple(drops),
+            adds=dict(adds or {}),
+            required={})
+        self._check_attrs(source_class, list(spec.renames) + list(drops))
+        self._copies.append(spec)
+        self._map_class(source_class, spec.target_class)
+        return self
+
+    def make_required(self, source_class: str, attr: str, policy: str,
+                      default: Optional[Value] = None) -> "Evolution":
+        """Optional (set-valued) attribute -> required scalar.
+
+        ``policy="delete"`` drops objects lacking the attribute;
+        ``policy="default"`` fills ``default`` in afterwards (the paper's
+        two readings, Section 1).
+        """
+        if policy not in ("delete", "default"):
+            raise EvolutionError(
+                f"unknown policy {policy!r}; use 'delete' or 'default'")
+        if policy == "default" and default is None:
+            raise EvolutionError("the default policy needs a default value")
+        spec = self._copy_spec_for(source_class)
+        attr_type = self.source.schema.attribute_type(source_class, attr)
+        if not isinstance(attr_type, SetType):
+            raise EvolutionError(
+                f"{source_class}.{attr} is not optional (set-valued); "
+                f"got {attr_type}")
+        spec.required[attr] = (policy, default)
+        return self
+
+    def split_class(self, source_class: str, variant_attr: str,
+                    mapping: Mapping[str, str]) -> "Evolution":
+        """Split by a variant attribute: one target class per label."""
+        self._require_class(source_class)
+        attr_type = self.source.schema.attribute_type(source_class,
+                                                      variant_attr)
+        if not isinstance(attr_type, VariantType):
+            raise EvolutionError(
+                f"{source_class}.{variant_attr} is not a variant "
+                f"attribute; got {attr_type}")
+        for label in mapping:
+            if not attr_type.has_choice(label):
+                raise EvolutionError(
+                    f"{source_class}.{variant_attr} has no choice "
+                    f"{label!r}")
+        spec = _SplitSpec(source_class, variant_attr, dict(mapping))
+        self._splits.append(spec)
+        for target_class in mapping.values():
+            self._map_class(source_class, target_class)
+        return self
+
+    def reify_reference(self, source_class: str, attr: str,
+                        link_class: str, subject_target: str,
+                        object_target: str,
+                        subject_label: str = "subject",
+                        object_label: str = "object",
+                        subject_filter: Optional[Tuple[str, str]] = None,
+                        object_filter: Optional[Tuple[str, str]] = None,
+                        ) -> "Evolution":
+        """Reference attribute -> link class (spouse -> Marriage)."""
+        self._require_class(source_class)
+        attr_type = self.source.schema.attribute_type(source_class, attr)
+        if not isinstance(attr_type, ClassType):
+            raise EvolutionError(
+                f"{source_class}.{attr} is not a reference; "
+                f"got {attr_type}")
+        self._reifies.append(_ReifySpec(
+            source_class, attr, link_class, subject_target, object_target,
+            subject_label, object_label, subject_filter, object_filter))
+        return self
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_class(self, cname: str) -> None:
+        if not self.source.schema.has_class(cname):
+            raise EvolutionError(
+                f"source schema has no class {cname!r}")
+
+    def _check_attrs(self, cname: str, attrs: Sequence[str]) -> None:
+        known = set(self.source.schema.attributes(cname))
+        for attr in attrs:
+            if attr not in known:
+                raise EvolutionError(f"{cname} has no attribute {attr!r}")
+
+    def _copy_spec_for(self, source_class: str) -> _CopySpec:
+        for spec in self._copies:
+            if spec.source_class == source_class:
+                return spec
+        raise EvolutionError(
+            f"class {source_class!r} has not been copied; call "
+            f"copy_class first")
+
+    def _map_class(self, source_class: str, target_class: str) -> None:
+        self._class_map.setdefault(source_class, []).append(target_class)
+
+    def _compute_internal_names(self) -> None:
+        """Alias target classes that collide with source class names."""
+        source_names = set(self.source.schema.class_names())
+        declared: List[str] = [spec.target_class for spec in self._copies]
+        for spec in self._splits:
+            declared.extend(spec.mapping.values())
+        declared.extend(spec.link_class for spec in self._reifies)
+        taken = set(source_names) | set(declared)
+        self._internal_names: Dict[str, str] = {}
+        for name in declared:
+            if name in self._internal_names:
+                raise EvolutionError(
+                    f"target class {name!r} declared twice")
+            if name in source_names:
+                alias = name + "_v2"
+                while alias in taken:
+                    alias += "_"
+                taken.add(alias)
+                self._internal_names[name] = alias
+            else:
+                self._internal_names[name] = name
+
+    def _int(self, public_name: str) -> str:
+        """The working (alias) name of a declared target class."""
+        return self._internal_names[public_name]
+
+    def _target_of_reference(self, referenced: str) -> str:
+        targets = self._class_map.get(referenced, [])
+        if len(targets) != 1:
+            raise EvolutionError(
+                f"reference to {referenced!r} is ambiguous or unmapped "
+                f"(targets: {targets}); copy the class exactly once or "
+                f"reify the reference")
+        return targets[0]
+
+    def _source_key(self, cname: str) -> KeyFunction:
+        if not self.source.keys.has_key(cname):
+            raise EvolutionError(
+                f"class {cname!r} has no key; evolution operators need "
+                f"keyed classes to identify objects")
+        return self.source.keys.key_for(cname)
+
+    def _key_join_atoms(self, source_var: str, source_class: str,
+                        target_class: str,
+                        fresh: List[int]) -> Tuple[List, SkolemTerm]:
+        """Atoms computing the target identity of a source object."""
+        key = self._source_key(source_class)
+        atoms: List = []
+        args: List[Tuple[Optional[str], Term]] = []
+        for label, path in key.components:
+            term: Term = Var(source_var)
+            for attr in path:
+                term = Proj(term, attr)
+            fresh[0] += 1
+            var = Var(f"_e{fresh[0]}")
+            atoms.append(EqAtom(var, term))
+            args.append((label, var))
+        return atoms, SkolemTerm(target_class, tuple(args))
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> EvolutionResult:
+        classes: List[Tuple[str, Type]] = []
+        key_functions: Dict[str, KeyFunction] = {}
+        clauses: List[Clause] = []
+        defaults: Dict[Tuple[str, str], Value] = {}
+        fresh = [0]
+        self._extra_clauses = []
+        self._optional_attrs: set = set()
+        self._compute_internal_names()
+
+        for spec in self._copies:
+            internal = self._int(spec.target_class)
+            ctype, key_fn, clause, spec_defaults = self._build_copy(
+                spec, fresh)
+            classes.append((internal, ctype))
+            if key_fn is not None:
+                key_functions[internal] = key_fn
+            clauses.append(clause)
+            defaults.update(spec_defaults)
+
+        for spec in self._splits:
+            for label, target_class in sorted(spec.mapping.items()):
+                internal = self._int(target_class)
+                ctype, key_fn, clause = self._build_split(
+                    spec, label, target_class, fresh)
+                classes.append((internal, ctype))
+                if key_fn is not None:
+                    key_functions[internal] = key_fn
+                clauses.append(clause)
+
+        reify_key_clauses: List[Clause] = []
+        for spec in self._reifies:
+            ctype, clause, key_clause = self._build_reify(spec, fresh)
+            classes.append((self._int(spec.link_class), ctype))
+            clauses.append(clause)
+            reify_key_clauses.append(key_clause)
+
+        schema = Schema(self.target_name, tuple(classes))
+        keyed = KeyedSchema(schema, KeySpec({
+            cname: KeyFunction(cname, fn.components)
+            for cname, fn in key_functions.items()}))
+
+        key_clauses = [key_clause_for(fn) for fn in key_functions.values()]
+        program = Program(tuple(clauses + self._extra_clauses
+                                + key_clauses + reify_key_clauses))
+        restore = {internal: public
+                   for public, internal in self._internal_names.items()
+                   if internal != public}
+        from ..model.rename import rename_keyed_schema
+        final = rename_keyed_schema(keyed, restore) if restore else keyed
+        return EvolutionResult(final, keyed, program, defaults, restore,
+                               frozenset(self._optional_attrs))
+
+    def _build_copy(self, spec: _CopySpec, fresh: List[int]):
+        source_type = self.source.schema.class_type(spec.source_class)
+        if not isinstance(source_type, RecordType):
+            raise EvolutionError(
+                f"cannot copy non-record class {spec.source_class}")
+
+        internal = self._int(spec.target_class)
+        obj = Var("X")
+        src = Var("I")
+        head: List = [MemberAtom(obj, internal)]
+        body: List = [MemberAtom(src, spec.source_class)]
+        fields: List[Tuple[str, Type]] = []
+        spec_defaults: Dict[Tuple[str, str], Value] = {}
+
+        for label, attr_type in source_type.fields:
+            if label in spec.drops:
+                continue
+            target_label = spec.renames.get(label, label)
+            if label in spec.required:
+                policy, default = spec.required[label]
+                assert isinstance(attr_type, SetType)
+                element = attr_type.element
+                target_type = self._map_type(element)
+                fields.append((target_label, target_type))
+                if policy == "delete":
+                    fresh[0] += 1
+                    var = Var(f"_e{fresh[0]}")
+                    body.append(InAtom(var, Proj(src, label)))
+                    head.append(EqAtom(
+                        Proj(obj, target_label),
+                        self._reference_value(element, var, body, fresh)))
+                else:
+                    spec_defaults[(spec.target_class, target_label)] = \
+                        default  # final names; transform() re-keys
+                    self._optional_attrs.add((internal, target_label))
+                    # Present values still copy (per element; multiple
+                    # distinct values conflict, correctly).
+                    fresh[0] += 1
+                    var = Var(f"_e{fresh[0]}")
+                    # A separate assigner clause: fires only when present.
+                    assigner = Clause(
+                        (EqAtom(Proj(Var("X"), target_label),
+                                self._reference_value(
+                                    element, var, None, fresh)),),
+                        tuple([MemberAtom(Var("X"), internal),
+                               MemberAtom(Var("I"), spec.source_class)]
+                              + self._identity_link(
+                                  "X", "I", spec, fresh)
+                              + [InAtom(var, Proj(Var("I"), label))]),
+                        name=f"opt_{spec.target_class}_{target_label}",
+                        kind=KIND_TRANSFORMATION)
+                    self._extra_clauses.append(assigner)
+                continue
+            if attr_type.involves_class() and not isinstance(
+                    attr_type, ClassType):
+                raise EvolutionError(
+                    f"{spec.source_class}.{label}: copying attributes "
+                    f"with nested class references ({attr_type}) is not "
+                    f"supported; drop the attribute, make it required, "
+                    f"or reify it")
+            target_type = self._map_type(attr_type)
+            fields.append((target_label, target_type))
+            head.append(EqAtom(
+                Proj(obj, target_label),
+                self._reference_value(attr_type, Proj(src, label), body,
+                                      fresh)))
+
+        for label, (attr_type, default_value) in sorted(spec.adds.items()):
+            fields.append((label, attr_type))
+            from ..lang.ast import Const
+            head.append(EqAtom(Proj(obj, label), Const(default_value)))
+
+        key_fn = None
+        if self.source.keys.has_key(spec.source_class):
+            source_key = self.source.keys.key_for(spec.source_class)
+            renamed_components = tuple(
+                (label, tuple(spec.renames.get(a, a) for a in path))
+                for label, path in source_key.components)
+            key_fn = KeyFunction(internal, renamed_components)
+
+        clause = Clause(tuple(head), tuple(body),
+                        name=f"copy_{spec.target_class}",
+                        kind=KIND_TRANSFORMATION)
+        ctype = RecordType(tuple(fields))
+        return ctype, key_fn, clause, spec_defaults
+
+    #: clauses generated as side effects of operators (optional copies).
+    _extra_clauses: List[Clause]
+
+    def _identity_link(self, target_var: str, source_var: str,
+                       spec: _CopySpec, fresh: List[int]) -> List:
+        """Body atoms equating a target object with its source original
+        via the Skolem identity."""
+        atoms, skolem = self._key_join_atoms(
+            source_var, spec.source_class, self._int(spec.target_class),
+            fresh)
+        # Rename key paths per the copy's attribute renames: the key is
+        # computed from the SOURCE object, so paths stay source-side.
+        return atoms + [EqAtom(Var(target_var), skolem)]
+
+    def _map_type(self, ty: Type) -> Type:
+        if isinstance(ty, ClassType):
+            return ClassType(self._int(self._target_of_reference(ty.name)))
+        if isinstance(ty, SetType):
+            return SetType(self._map_type(ty.element))
+        return ty
+
+    def _reference_value(self, attr_type: Type, source_term: Term,
+                         body: Optional[List], fresh: List[int]) -> Term:
+        """The target-side value for a copied attribute.
+
+        Reference attributes become the Skolem identity of the copied
+        referenced object, computed from the source reference's key.
+        """
+        if not isinstance(attr_type, ClassType):
+            return source_term
+        referenced = attr_type.name
+        target_ref = self._int(self._target_of_reference(referenced))
+        key = self._source_key(referenced)
+        args: List[Tuple[Optional[str], Term]] = []
+        for label, path in key.components:
+            term = source_term
+            for attr in path:
+                term = Proj(term, attr)
+            args.append((label, term))
+        return SkolemTerm(target_ref, tuple(args))
+
+    def _build_split(self, spec: _SplitSpec, label: str,
+                     target_class: str, fresh: List[int]):
+        source_type = self.source.schema.class_type(spec.source_class)
+        assert isinstance(source_type, RecordType)
+        internal = self._int(target_class)
+        obj = Var("X")
+        src = Var("Y")
+        head: List = [MemberAtom(obj, internal)]
+        body: List = [MemberAtom(src, spec.source_class),
+                      EqAtom(Proj(src, spec.variant_attr),
+                             VariantTerm(label))]
+        fields: List[Tuple[str, Type]] = []
+        for attr, attr_type in source_type.fields:
+            if attr == spec.variant_attr:
+                continue
+            if isinstance(attr_type, ClassType):
+                # References out of a split class are ambiguous: reify
+                # them instead.
+                continue
+            fields.append((attr, attr_type))
+            head.append(EqAtom(Proj(obj, attr), Proj(src, attr)))
+
+        key_fn = None
+        if self.source.keys.has_key(spec.source_class):
+            source_key = self.source.keys.key_for(spec.source_class)
+            key_fn = KeyFunction(internal, source_key.components)
+
+        clause = Clause(tuple(head), tuple(body),
+                        name=f"split_{target_class}",
+                        kind=KIND_TRANSFORMATION)
+        return RecordType(tuple(fields)), key_fn, clause
+
+    def _build_reify(self, spec: _ReifySpec, fresh: List[int]):
+        link = Var("M")
+        subject_src = Var("Z")
+        object_src = Var("W")
+        body: List = [MemberAtom(subject_src, spec.source_class),
+                      EqAtom(object_src,
+                             Proj(subject_src, spec.attr))]
+        if spec.subject_filter is not None:
+            attr, label = spec.subject_filter
+            body.append(EqAtom(Proj(subject_src, attr),
+                               VariantTerm(label)))
+        if spec.object_filter is not None:
+            attr, label = spec.object_filter
+            body.append(EqAtom(Proj(object_src, attr),
+                               VariantTerm(label)))
+
+        referenced = self.source.schema.attribute_type(
+            spec.source_class, spec.attr)
+        assert isinstance(referenced, ClassType)
+        subject_atoms, subject_skolem = self._key_join_atoms(
+            "Z", spec.source_class, self._int(spec.subject_target), fresh)
+        object_atoms, object_skolem = self._key_join_atoms(
+            "W", referenced.name, self._int(spec.object_target), fresh)
+        body.extend(subject_atoms)
+        body.extend(object_atoms)
+        body.append(EqAtom(Var("XS"), subject_skolem))
+        body.append(EqAtom(Var("XO"), object_skolem))
+
+        head = (MemberAtom(link, self._int(spec.link_class)),
+                EqAtom(Proj(link, spec.subject_label), Var("XS")),
+                EqAtom(Proj(link, spec.object_label), Var("XO")))
+        clause = Clause(head, tuple(body),
+                        name=f"reify_{spec.link_class}",
+                        kind=KIND_TRANSFORMATION)
+
+        key_clause = Clause(
+            (EqAtom(Var("M"), SkolemTerm(self._int(spec.link_class), (
+                (spec.subject_label, Var("S")),
+                (spec.object_label, Var("O")),))),),
+            (MemberAtom(Var("M"), self._int(spec.link_class)),
+             EqAtom(Var("S"), Proj(Var("M"), spec.subject_label)),
+             EqAtom(Var("O"), Proj(Var("M"), spec.object_label))),
+            name=f"key_{spec.link_class}")
+
+        ctype = RecordType((
+            (spec.subject_label,
+             ClassType(self._int(spec.subject_target))),
+            (spec.object_label,
+             ClassType(self._int(spec.object_target)))))
+        return ctype, clause, key_clause

@@ -1,0 +1,10 @@
+"""Information-capacity analysis (paper Section 4.3)."""
+
+from .analysis import (InjectivityReport, NonInjectiveWitness,
+                       PreservationReport, check_injectivity,
+                       check_preservation, filter_by_constraints)
+
+__all__ = [
+    "InjectivityReport", "NonInjectiveWitness", "PreservationReport",
+    "check_injectivity", "check_preservation", "filter_by_constraints",
+]

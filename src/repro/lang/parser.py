@@ -1,0 +1,320 @@
+"""Recursive-descent parser for the concrete WOL syntax.
+
+Grammar (tokens from :mod:`repro.lang.lexer`)::
+
+    program  := clause*
+    clause   := [kind] [label ':'] atoms ['<=' atoms] ';'
+    kind     := 'transformation' | 'constraint'
+    atoms    := atom (',' atom)*
+    atom     := term ( '=' term | '!=' term | '<>' term
+                     | '<' term | '=<' term | '>' term | '>=' term
+                     | 'in' term )
+    term     := primary ('.' IDENT)*
+    primary  := '(' record_or_group ')' | STRING | NUMBER
+              | 'true' | 'false'
+              | 'Mk_' ClassName '(' args ')'
+              | 'ins_' label '(' [term] ')'
+              | IDENT
+
+``X in Foo`` with a bare identifier on the right is ambiguous between class
+membership and membership of a set held in variable ``Foo``.  The parser
+produces a class-membership atom and :func:`resolve_memberships` fixes the
+choice once the class names of the participating schemas are known —
+mirroring the paper, which shares one namespace for variables and classes.
+
+``>`` and ``>=`` are parsed and normalised to ``<`` / ``=<`` with the
+operands swapped, so downstream passes only see two order atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .ast import (Atom, Clause, Const, EqAtom, InAtom, KIND_CONSTRAINT,
+                  KIND_TRANSFORMATION, LeqAtom, LtAtom, MemberAtom, NeqAtom,
+                  Program, Proj, RecordTerm, SkolemTerm, Term, UNIT_CONST,
+                  Var, VariantTerm)
+from .lexer import (EOF, IDENT, NUMBER, STRING, SYMBOL, LexError, Token,
+                    tokenize)
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid WOL input."""
+
+
+def parse_program(source: str,
+                  classes: Optional[Iterable[str]] = None) -> Program:
+    """Parse a WOL program.
+
+    When ``classes`` is given, bare-identifier memberships are resolved
+    against it (see :func:`resolve_memberships`).
+    """
+    parser = _Parser(tokenize(source))
+    clauses = []
+    while not parser.at_end():
+        clauses.append(parser.clause())
+    program = Program(tuple(clauses))
+    if classes is not None:
+        program = resolve_memberships(program, classes)
+    return program
+
+
+def parse_clause(source: str,
+                 classes: Optional[Iterable[str]] = None) -> Clause:
+    """Parse a single clause (must consume all input)."""
+    parser = _Parser(tokenize(source))
+    clause = parser.clause()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input after clause: {parser.peek()}")
+    if classes is not None:
+        clause = _resolve_clause(clause, frozenset(classes))
+    return clause
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term (must consume all input)."""
+    parser = _Parser(tokenize(source))
+    term = parser.term()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after term: {parser.peek()}")
+    return term
+
+
+def parse_atom(source: str,
+               classes: Optional[Iterable[str]] = None) -> Atom:
+    """Parse a single atom (must consume all input)."""
+    parser = _Parser(tokenize(source))
+    atom = parser.atom()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after atom: {parser.peek()}")
+    if classes is not None:
+        atom = _resolve_atom(atom, frozenset(classes))
+    return atom
+
+
+def resolve_memberships(program: Program,
+                        classes: Iterable[str]) -> Program:
+    """Resolve ``X in Name`` atoms: class membership when ``Name`` is a
+    known class, set membership of the variable ``Name`` otherwise."""
+    known = frozenset(classes)
+    return Program(tuple(_resolve_clause(c, known) for c in program))
+
+
+def _resolve_clause(clause: Clause, known: frozenset) -> Clause:
+    return Clause(
+        tuple(_resolve_atom(a, known) for a in clause.head),
+        tuple(_resolve_atom(a, known) for a in clause.body),
+        name=clause.name, kind=clause.kind)
+
+
+def _resolve_atom(atom: Atom, known: frozenset) -> Atom:
+    if isinstance(atom, MemberAtom) and atom.class_name not in known:
+        return InAtom(atom.element, Var(atom.class_name))
+    return atom
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == EOF
+
+    def eat_symbol(self, text: str) -> bool:
+        if self.peek().is_symbol(text):
+            self.next()
+            return True
+        return False
+
+    def expect_symbol(self, text: str) -> None:
+        token = self.peek()
+        if not self.eat_symbol(text):
+            raise ParseError(
+                f"expected {text!r}, found {token} "
+                f"at line {token.line}, column {token.column}")
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def clause(self) -> Clause:
+        kind = None
+        token = self.peek()
+        if token.is_keyword(KIND_TRANSFORMATION):
+            kind = KIND_TRANSFORMATION
+            self.next()
+        elif token.is_keyword(KIND_CONSTRAINT):
+            kind = KIND_CONSTRAINT
+            self.next()
+
+        name = None
+        if (self.peek().kind == IDENT
+                and self.peek(1).is_symbol(":")):
+            name = self.next().text
+            self.next()  # ':'
+
+        head = self.atom_list()
+        body: Tuple[Atom, ...] = ()
+        if self.eat_symbol("<="):
+            body = self.atom_list()
+        self.expect_symbol(";")
+        return Clause(tuple(head), tuple(body), name=name, kind=kind)
+
+    def atom_list(self) -> List[Atom]:
+        atoms = [self.atom()]
+        while self.eat_symbol(","):
+            atoms.append(self.atom())
+        return atoms
+
+    def atom(self) -> Atom:
+        left = self.term()
+        token = self.peek()
+        if token.is_keyword("in"):
+            self.next()
+            right = self.term()
+            if isinstance(right, Var):
+                # Possibly a class; resolve_memberships decides later.
+                return MemberAtom(left, right.name)
+            return InAtom(left, right)
+        if token.is_symbol("="):
+            self.next()
+            return EqAtom(left, self.term())
+        if token.is_symbol("!=") or token.is_symbol("<>"):
+            self.next()
+            return NeqAtom(left, self.term())
+        if token.is_symbol("<"):
+            self.next()
+            return LtAtom(left, self.term())
+        if token.is_symbol("=<"):
+            self.next()
+            return LeqAtom(left, self.term())
+        if token.is_symbol(">"):
+            self.next()
+            return LtAtom(self.term_after(), left)
+        if token.is_symbol(">="):
+            self.next()
+            return LeqAtom(self.term_after(), left)
+        raise ParseError(
+            f"expected an atom operator ('=', 'in', '!=', '<', '=<', "
+            f"'>', '>='), found {token} at line {token.line}, "
+            f"column {token.column}")
+
+    def term_after(self) -> Term:
+        return self.term()
+
+    def term(self) -> Term:
+        term = self.primary()
+        while self.peek().is_symbol("."):
+            # Projection: the attribute name follows the dot.
+            self.next()
+            attr = self.ident("attribute name")
+            term = Proj(term, attr)
+        return term
+
+    def primary(self) -> Term:
+        token = self.peek()
+        if token.is_symbol("("):
+            return self.record_or_unit()
+        if token.kind == STRING:
+            self.next()
+            return Const(token.text)
+        if token.kind == NUMBER:
+            self.next()
+            text = token.text
+            if "." in text:
+                return Const(float(text))
+            return Const(int(text))
+        if token.is_keyword("true"):
+            self.next()
+            return Const(True)
+        if token.is_keyword("false"):
+            self.next()
+            return Const(False)
+        if token.kind == IDENT:
+            if token.text.startswith("Mk_") and len(token.text) > 3:
+                return self.skolem()
+            if token.text.startswith("ins_") and len(token.text) > 4:
+                return self.variant()
+            if token.text in ("in",):
+                raise ParseError(
+                    f"unexpected keyword {token} at line {token.line}, "
+                    f"column {token.column}")
+            self.next()
+            return Var(token.text)
+        raise ParseError(
+            f"expected a term, found {token} at line {token.line}, "
+            f"column {token.column}")
+
+    def record_or_unit(self) -> Term:
+        """Parse ``( ... )``: unit, record construction, or a group."""
+        self.expect_symbol("(")
+        if self.eat_symbol(")"):
+            return UNIT_CONST
+        # Record construction iff we see 'ident =' (and not 'ident ==...').
+        if (self.peek().kind == IDENT and self.peek(1).is_symbol("=")):
+            fields = [self.record_field()]
+            while self.eat_symbol(","):
+                fields.append(self.record_field())
+            self.expect_symbol(")")
+            return RecordTerm(tuple(fields))
+        term = self.term()
+        self.expect_symbol(")")
+        return term
+
+    def record_field(self) -> Tuple[str, Term]:
+        label = self.ident("record label")
+        self.expect_symbol("=")
+        return label, self.term()
+
+    def skolem(self) -> Term:
+        token = self.next()
+        class_name = token.text[len("Mk_"):]
+        self.expect_symbol("(")
+        args: List[Tuple[Optional[str], Term]] = []
+        if not self.peek().is_symbol(")"):
+            named = (self.peek().kind == IDENT
+                     and self.peek(1).is_symbol("="))
+            while True:
+                if named:
+                    label = self.ident("argument label")
+                    self.expect_symbol("=")
+                    args.append((label, self.term()))
+                else:
+                    args.append((None, self.term()))
+                if not self.eat_symbol(","):
+                    break
+        self.expect_symbol(")")
+        return SkolemTerm(class_name, tuple(args))
+
+    def variant(self) -> Term:
+        token = self.next()
+        label = token.text[len("ins_"):]
+        self.expect_symbol("(")
+        if self.eat_symbol(")"):
+            return VariantTerm(label)
+        payload = self.term()
+        self.expect_symbol(")")
+        return VariantTerm(label, payload)
+
+    def ident(self, what: str) -> str:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise ParseError(
+                f"expected {what}, found {token} at line {token.line}, "
+                f"column {token.column}")
+        self.next()
+        return token.text

@@ -1,0 +1,107 @@
+"""Renaming classes across schemas and instances.
+
+Transformations in WOL run between *disjoint* class namespaces (the merged
+schema of Section 3 has one flat namespace), but real schema evolution
+usually keeps class names.  This utility renames classes in a schema and,
+consistently, in an instance — rebuilding object identities (including
+keyed identities whose keys embed other identities) and every stored
+value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .instance import Instance
+from .keys import KeyFunction, KeySpec, KeyedSchema
+from .schema import Schema
+from .types import (ClassType, ListType, RecordType, SetType, Type,
+                    VariantType)
+from .values import Oid, Record, Value, Variant, WolList, WolSet
+
+
+def rename_type(ty: Type, mapping: Mapping[str, str]) -> Type:
+    """Rename class references inside a type."""
+    if isinstance(ty, ClassType):
+        return ClassType(mapping.get(ty.name, ty.name))
+    if isinstance(ty, SetType):
+        return SetType(rename_type(ty.element, mapping))
+    if isinstance(ty, ListType):
+        return ListType(rename_type(ty.element, mapping))
+    if isinstance(ty, RecordType):
+        return RecordType(tuple(
+            (label, rename_type(fty, mapping)) for label, fty in ty.fields))
+    if isinstance(ty, VariantType):
+        return VariantType(tuple(
+            (label, rename_type(cty, mapping))
+            for label, cty in ty.choices))
+    return ty
+
+
+def rename_schema(schema: Schema, mapping: Mapping[str, str]) -> Schema:
+    """Rename classes of a schema (types rewritten consistently)."""
+    return Schema(schema.name, tuple(
+        (mapping.get(cname, cname), rename_type(ctype, mapping))
+        for cname, ctype in schema))
+
+
+def rename_keyed_schema(keyed: KeyedSchema,
+                        mapping: Mapping[str, str]) -> KeyedSchema:
+    schema = rename_schema(keyed.schema, mapping)
+    functions = {}
+    for cname in keyed.keys.classes():
+        fn = keyed.keys.key_for(cname)
+        new_name = mapping.get(cname, cname)
+        functions[new_name] = KeyFunction(new_name, fn.components)
+    return KeyedSchema(schema, KeySpec(functions))
+
+
+class _Renamer:
+    def __init__(self, mapping: Mapping[str, str]) -> None:
+        self.mapping = dict(mapping)
+        self._oids: Dict[Oid, Oid] = {}
+
+    def oid(self, old: Oid) -> Oid:
+        cached = self._oids.get(old)
+        if cached is not None:
+            return cached
+        cname = self.mapping.get(old.class_name, old.class_name)
+        if old.is_keyed:
+            new = Oid.keyed(cname, self.value(old.key))
+        else:
+            new = Oid(cname, serial=old.serial)
+        self._oids[old] = new
+        return new
+
+    def value(self, value: Value) -> Value:
+        if isinstance(value, Oid):
+            return self.oid(value)
+        if isinstance(value, Record):
+            return Record(tuple(
+                (label, self.value(v)) for label, v in value.fields))
+        if isinstance(value, Variant):
+            return Variant(value.label, self.value(value.value))
+        if isinstance(value, WolSet):
+            return WolSet(frozenset(self.value(v) for v in value))
+        if isinstance(value, WolList):
+            return WolList(tuple(self.value(v) for v in value))
+        return value
+
+
+def rename_instance_classes(instance: Instance,
+                            mapping: Mapping[str, str]) -> Instance:
+    """Rename classes in an instance, rebuilding identities and values.
+
+    Keyed identities are re-keyed recursively: a key embedding an oid of a
+    renamed class gets that oid renamed too, so Skolem-generated identities
+    stay consistent.
+    """
+    renamer = _Renamer(mapping)
+    schema = rename_schema(instance.schema, mapping)
+    valuations: Dict[str, Dict[Oid, Value]] = {}
+    for cname in instance.schema.class_names():
+        new_name = mapping.get(cname, cname)
+        valuations[new_name] = {
+            renamer.oid(oid): renamer.value(instance.value_of(oid))
+            for oid in instance.objects_of(cname)}
+    return Instance(schema, valuations)

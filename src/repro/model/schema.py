@@ -1,0 +1,246 @@
+"""Schemas of the WOL data model (paper Section 2.1).
+
+A schema consists of a finite set of classes and, for each class, the type of
+the values associated with objects of that class.  The class type itself must
+not be a class type (objects carry structured values, not bare references).
+
+A textual schema language is provided for convenience::
+
+    schema USCities {
+      class CityA  = (name: str, state: StateA)    key name;
+      class StateA = (name: str, capital: CityA)   key name;
+    }
+
+The ``key`` suffix attaches a surrogate-key specification (Section 2.2); see
+:mod:`repro.model.keys`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .types import (ClassType, RecordType, Type, TypeError_, parse_type,
+                    resolve_class_refs)
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas (dangling refs, bad class types...)."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A WOL schema: a finite map from class names to their value types."""
+
+    name: str
+    classes: Tuple[Tuple[str, Type], ...]
+    _index: Dict[str, Type] = field(init=False, repr=False, compare=False,
+                                    hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        names = [cname for cname, _ in self.classes]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate class names: {duplicates}")
+        canonical = tuple(sorted(self.classes, key=lambda item: item[0]))
+        object.__setattr__(self, "classes", canonical)
+        object.__setattr__(self, "_index", dict(canonical))
+        known = frozenset(names)
+        for cname, ctype in self.classes:
+            if isinstance(ctype, ClassType):
+                raise SchemaError(
+                    f"class {cname}: the associated type may not itself be "
+                    f"a class type (got {ctype})")
+            try:
+                resolve_class_refs(ctype, known)
+            except TypeError_ as exc:
+                raise SchemaError(f"class {cname}: {exc}") from exc
+
+    @staticmethod
+    def of(name: str, **classes: Type) -> "Schema":
+        return Schema(name, tuple(classes.items()))
+
+    def class_names(self) -> Tuple[str, ...]:
+        return tuple(cname for cname, _ in self.classes)
+
+    def has_class(self, cname: str) -> bool:
+        return cname in self._index
+
+    def class_type(self, cname: str) -> Type:
+        """The type ``tau^C`` of values carried by objects of class ``cname``."""
+        try:
+            return self._index[cname]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no class {cname!r}") from None
+
+    def attribute_type(self, cname: str, attr: str) -> Type:
+        """The type of attribute ``attr`` of class ``cname``.
+
+        Only defined when the class type is a record type, which is the common
+        case in the paper's examples.
+        """
+        ctype = self.class_type(cname)
+        if not isinstance(ctype, RecordType):
+            raise SchemaError(
+                f"class {cname} has non-record type {ctype}; "
+                f"no attribute {attr!r}")
+        try:
+            return ctype.field_type(attr)
+        except TypeError_ as exc:
+            raise SchemaError(str(exc)) from exc
+
+    def attributes(self, cname: str) -> Tuple[str, ...]:
+        """Attribute labels of ``cname`` (empty if its type is not a record)."""
+        ctype = self.class_type(cname)
+        if isinstance(ctype, RecordType):
+            return ctype.labels()
+        return ()
+
+    def references(self, cname: str) -> Tuple[str, ...]:
+        """Classes referenced (at any depth) by the type of ``cname``."""
+        return self.class_type(cname).class_names()
+
+    def __iter__(self) -> Iterator[Tuple[str, Type]]:
+        return iter(self.classes)
+
+    def __str__(self) -> str:
+        lines = [f"schema {self.name} {{"]
+        for cname, ctype in self.classes:
+            lines.append(f"  class {cname} = {ctype};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def merge_schemas(name: str, schemas: Iterable[Schema]) -> Schema:
+    """Union several schemas into one (class names must not collide).
+
+    Transformations may read from multiple source databases at once; the
+    normaliser works against the merged source schema.
+    """
+    classes: List[Tuple[str, Type]] = []
+    seen: Dict[str, str] = {}
+    for schema in schemas:
+        for cname, ctype in schema:
+            if cname in seen:
+                raise SchemaError(
+                    f"class {cname!r} appears in both schema "
+                    f"{seen[cname]!r} and schema {schema.name!r}")
+            seen[cname] = schema.name
+            classes.append((cname, ctype))
+    return Schema(name, tuple(classes))
+
+
+_SCHEMA_RE = re.compile(r"schema\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{", re.S)
+_CLASS_RE = re.compile(
+    r"class\s+([A-Za-z_][A-Za-z0-9_]*)\s*=\s*", re.S)
+
+
+def parse_schema(text: str):
+    """Parse the textual schema language.
+
+    Returns a :class:`repro.model.keys.KeyedSchema` when any ``key`` clause is
+    present, otherwise a plain :class:`Schema`.  Comments run from ``--`` or
+    ``#`` to end of line.
+    """
+    # Local import to avoid a cycle: keys.py imports Schema from here.
+    from .keys import KeyedSchema, KeySpec, attribute_key, attributes_key
+
+    stripped = _strip_comments(text)
+    match = _SCHEMA_RE.search(stripped)
+    if not match:
+        raise SchemaError("expected 'schema <Name> { ... }'")
+    schema_name = match.group(1)
+    body_start = match.end()
+    body_end = stripped.rfind("}")
+    if body_end < body_start:
+        raise SchemaError("unterminated schema body (missing '}')")
+    body = stripped[body_start:body_end]
+
+    classes: List[Tuple[str, Type]] = []
+    key_attrs: Dict[str, Tuple[str, ...]] = {}
+    for decl in _split_decls(body):
+        cmatch = _CLASS_RE.match(decl)
+        if not cmatch:
+            raise SchemaError(f"cannot parse class declaration: {decl!r}")
+        cname = cmatch.group(1)
+        rest = decl[cmatch.end():].strip()
+        key_part: Optional[str] = None
+        kidx = _find_key_keyword(rest)
+        if kidx is not None:
+            key_part = rest[kidx + len("key"):].strip()
+            rest = rest[:kidx].strip()
+        classes.append((cname, parse_type(rest)))
+        if kidx is not None:
+            attrs = tuple(a.strip() for a in key_part.split(",") if a.strip())
+            if not attrs:
+                raise SchemaError(f"class {cname}: empty key clause")
+            key_attrs[cname] = attrs
+
+    schema = Schema(schema_name, tuple(classes))
+    if not key_attrs:
+        return schema
+
+    specs = {}
+    for cname, attrs in key_attrs.items():
+        if len(attrs) == 1:
+            specs[cname] = attribute_key(schema, cname, attrs[0])
+        else:
+            specs[cname] = attributes_key(schema, cname, attrs)
+    return KeyedSchema(schema, KeySpec(specs))
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        for marker in ("--", "#"):
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _split_decls(body: str) -> List[str]:
+    """Split the schema body into class declarations at top-level ';'."""
+    decls = []
+    depth = 0
+    current = []
+    for ch in body:
+        if ch in "({[<":
+            depth += 1
+        elif ch in ")}]>":
+            depth -= 1
+        if ch == ";" and depth == 0:
+            decl = "".join(current).strip()
+            if decl:
+                decls.append(decl)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        decls.append(tail)
+    return decls
+
+
+def _find_key_keyword(decl: str) -> Optional[int]:
+    """Index of a top-level ``key`` keyword in a class declaration body."""
+    depth = 0
+    i = 0
+    while i < len(decl):
+        ch = decl[i]
+        if ch in "({[<":
+            depth += 1
+        elif ch in ")}]>":
+            depth -= 1
+        elif depth == 0 and decl.startswith("key", i):
+            before_ok = i == 0 or not (decl[i - 1].isalnum() or decl[i - 1] == "_")
+            after = i + 3
+            after_ok = after >= len(decl) or not (
+                decl[after].isalnum() or decl[after] == "_")
+            if before_ok and after_ok:
+                return i
+        i += 1
+    return None

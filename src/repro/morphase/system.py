@@ -1,0 +1,232 @@
+"""The Morphase system façade (paper Section 5, Figure 6).
+
+Morphase wires the whole pipeline together::
+
+    WOL transformation program + constraints        (user)
+        + auto-generated key clauses                (meta-data)
+      -> semi-normal form -> normal form            (normaliser)
+      -> execution                                  (direct or via CPL)
+      -> target database instance
+
+Usage::
+
+    morphase = Morphase([us_schema(), euro_schema()], target_schema(),
+                        PROGRAM_TEXT)
+    result = morphase.transform([us_instance, euro_instance])
+    result.target            # the integrated instance
+    result.normalized.report # compile statistics
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..engine.executor import ExecutionError, ExecutionStats, execute
+from ..lang.ast import Clause, Program
+from ..lang.parser import parse_program
+from ..lang.range_restriction import check_range_restriction
+from ..lang.typecheck import check_clause
+from ..model.instance import Instance
+from ..model.keys import KeySpec, KeyedSchema, key_violations
+from ..model.schema import Schema, merge_schemas
+from ..normalization.keyclauses import recognise_key_clause
+from ..normalization.normalize import (NormalizationOptions,
+                                       NormalizationError, NormalizedProgram,
+                                       normalize)
+from ..normalization.snf import snf_clause
+from ..semantics.satisfaction import (Violation, merge_instances,
+                                      program_violations)
+from .metadata import generate_target_key_clauses
+
+AnySchema = Union[Schema, KeyedSchema]
+
+
+class MorphaseError(Exception):
+    """Raised for configuration or source-validation failures."""
+
+
+@dataclass
+class MorphaseResult:
+    """Outcome of one transformation run."""
+
+    target: Instance
+    normalized: NormalizedProgram
+    stats: ExecutionStats
+    source_violations: Tuple[Violation, ...] = ()
+    cpl_source: Optional[str] = None
+
+
+def _plain_schema(schema: AnySchema) -> Schema:
+    return schema.schema if isinstance(schema, KeyedSchema) else schema
+
+
+def _keys_of(schema: AnySchema) -> Optional[KeySpec]:
+    return schema.keys if isinstance(schema, KeyedSchema) else None
+
+
+class Morphase:
+    """Compile once, transform many times (the paper's trade-off)."""
+
+    def __init__(self, source_schemas: Sequence[AnySchema],
+                 target_schema: AnySchema,
+                 program: Union[Program, str],
+                 options: Optional[NormalizationOptions] = None,
+                 auto_keys: bool = True,
+                 typecheck: bool = True) -> None:
+        self.source_schemas = list(source_schemas)
+        self.target_schema = target_schema
+        self.options = options or NormalizationOptions()
+        self.auto_keys = auto_keys
+
+        self.source_schema = merge_schemas(
+            "__source__", [_plain_schema(s) for s in self.source_schemas])
+        self.target_plain = _plain_schema(target_schema)
+        self.all_classes = (self.source_schema.class_names()
+                            + self.target_plain.class_names())
+        self.merged_schema = merge_schemas(
+            "__all__",
+            [self.source_schema, self.target_plain])
+
+        if isinstance(program, str):
+            program = parse_program(program, classes=self.all_classes)
+        self.program = program
+
+        if typecheck:
+            for clause in self.program:
+                check_clause(self.merged_schema, clause)
+                check_range_restriction(clause)
+
+        self.source_keys = self._merge_source_keys()
+        self._normalized: Optional[NormalizedProgram] = None
+
+    # ------------------------------------------------------------------
+    def _merge_source_keys(self) -> Optional[KeySpec]:
+        functions = {}
+        for schema in self.source_schemas:
+            keys = _keys_of(schema)
+            if keys is None:
+                continue
+            for cname in keys.classes():
+                functions[cname] = keys.key_for(cname)
+        return KeySpec(functions) if functions else None
+
+    def _program_with_auto_keys(self) -> Program:
+        if not self.auto_keys or not isinstance(self.target_schema,
+                                                KeyedSchema):
+            return self.program
+        written = set()
+        for clause in self.program:
+            recognised = recognise_key_clause(snf_clause(clause))
+            if recognised is not None:
+                written.add(recognised.class_name)
+        generated = generate_target_key_clauses(self.target_schema,
+                                                skip=written)
+        if not generated:
+            return self.program
+        return Program(self.program.clauses + tuple(generated))
+
+    # ------------------------------------------------------------------
+    def compile(self, force: bool = False) -> NormalizedProgram:
+        """Normalise the program (cached)."""
+        if self._normalized is None or force:
+            self._normalized = normalize(
+                self._program_with_auto_keys(),
+                self.source_schema, self.target_plain,
+                source_keys=self.source_keys, options=self.options)
+        return self._normalized
+
+    # ------------------------------------------------------------------
+    def check_source(self, source: Instance) -> List[Violation]:
+        """Audit the merged source instance against source constraints.
+
+        Includes schema-level key specifications: a key violation is
+        reported as a violation of the corresponding identity clause.
+        """
+        normalized = self.compile()
+        violations = list(program_violations(
+            source, normalized.source_constraints, limit_per_clause=5))
+        if self.source_keys is not None:
+            for bad in key_violations(source, self.source_keys):
+                violations.append(Violation(_key_violation_clause(bad), {}))
+        return violations
+
+    def transform(self, sources: Union[Instance, Sequence[Instance]],
+                  validate: bool = True,
+                  check_source_constraints: bool = False,
+                  backend: str = "direct",
+                  defaults=None) -> MorphaseResult:
+        """Run the compiled program over the source instance(s).
+
+        ``backend`` is ``"direct"`` (the one-pass executor) or ``"cpl"``
+        (translate to CPL and interpret — the paper's production path).
+        ``defaults`` maps ``(class, attribute)`` to fill-in values for
+        attributes no clause derived (direct backend only); see
+        :meth:`repro.engine.executor.Executor.freeze`.
+        """
+        if isinstance(sources, Instance):
+            merged = (sources if sources.schema.classes
+                      == self.source_schema.classes
+                      else merge_instances("__source__", [sources]))
+        else:
+            merged = merge_instances("__source__", list(sources))
+
+        normalized = self.compile()
+        source_violations: Tuple[Violation, ...] = ()
+        if check_source_constraints:
+            found = self.check_source(merged)
+            source_violations = tuple(found)
+            if found:
+                raise MorphaseError(
+                    "source constraints violated: "
+                    + "; ".join(str(v) for v in found[:5]))
+
+        if backend == "direct":
+            target, stats = execute(normalized.program(), merged,
+                                    self.target_plain, validate=validate,
+                                    defaults=defaults)
+            cpl_source = None
+        elif backend == "cpl":
+            if defaults:
+                raise MorphaseError(
+                    "defaults are only supported by the direct backend")
+            from ..cpl.translate import translate_program
+            from ..cpl.interp import run_cpl
+            cpl_program = translate_program(normalized.program(),
+                                            self.target_plain)
+            start = time.perf_counter()
+            target = run_cpl(cpl_program, merged, self.target_plain,
+                             validate=validate)
+            stats = ExecutionStats(
+                clauses_run=len(normalized.clauses),
+                elapsed_seconds=time.perf_counter() - start)
+            cpl_source = cpl_program.source()
+        else:
+            raise MorphaseError(f"unknown backend {backend!r}")
+
+        return MorphaseResult(target=target, normalized=normalized,
+                              stats=stats,
+                              source_violations=source_violations,
+                              cpl_source=cpl_source)
+
+    # ------------------------------------------------------------------
+    def audit(self, sources: Union[Instance, Sequence[Instance]],
+              target: Instance) -> List[Violation]:
+        """Check the original program (transformations + constraints)
+        against source and target together — the definition of a
+        Tr-transformation (Section 3.2)."""
+        if isinstance(sources, Instance):
+            sources = [sources]
+        combined = merge_instances("__audit__", list(sources) + [target])
+        return list(program_violations(combined, self.program,
+                                       limit_per_clause=5))
+
+
+def _key_violation_clause(violation) -> Clause:
+    """A placeholder clause naming the violated key (for reporting)."""
+    from ..lang.ast import Const, EqAtom
+    return Clause(
+        (EqAtom(Const(str(violation)), Const(str(violation))),),
+        (),
+        name=f"key_{violation.class_name}")

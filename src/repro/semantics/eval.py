@@ -1,0 +1,108 @@
+"""Term evaluation against a database instance.
+
+Evaluates WOL terms to values under a variable binding, dereferencing object
+identities for projections (the paper's ``x.a`` notation) and interpreting
+Skolem terms as keyed object identities: ``Mk_C(args)`` denotes the identity
+uniquely determined by the class and the argument values, so equal arguments
+give equal identities and distinct arguments give distinct identities —
+exactly the injectivity the paper requires of Skolem functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..lang.ast import (Const, Proj, RecordTerm, SkolemTerm, Term, Var,
+                        VariantTerm)
+from ..model.instance import Instance, InstanceError
+from ..model.values import Oid, Record, Value, Variant
+
+#: A variable binding: variable name -> value.
+Binding = Dict[str, Value]
+
+
+class EvalError(Exception):
+    """Raised when a term cannot be evaluated (unbound variable, bad
+    projection...)."""
+
+
+def skolem_key(class_name: str, args) -> Value:
+    """The key value packed into a Skolem-generated object identity.
+
+    * a single positional argument is the key itself,
+    * several positional arguments pack into a record ``arg0``, ``arg1``...
+    * named arguments pack into a record of those names.
+
+    The packing is injective, which makes ``Oid.keyed`` faithful to the
+    paper's Skolem semantics.
+    """
+    values = list(args)
+    if not values:
+        return Record(())
+    if values[0][0] is None:
+        if len(values) == 1:
+            return values[0][1]
+        return Record(tuple(
+            (f"arg{index}", value)
+            for index, (_, value) in enumerate(values)))
+    return Record(tuple((label, value) for label, value in values))
+
+
+def is_evaluable(term: Term, binding: Mapping[str, Value]) -> bool:
+    """True when every variable of ``term`` is bound.
+
+    Evaluation may still fail (e.g. projecting a missing attribute), but
+    that is then a genuine error rather than an ordering problem.
+    """
+    return all(name in binding for name in term.variables())
+
+
+def evaluate(term: Term, binding: Mapping[str, Value],
+             instance: Optional[Instance] = None) -> Value:
+    """Evaluate ``term`` to a value.
+
+    ``instance`` supplies the valuation used to dereference object
+    identities in projections; a projection off an oid without an instance
+    is an :class:`EvalError`.
+    """
+    if isinstance(term, Var):
+        try:
+            return binding[term.name]
+        except KeyError:
+            raise EvalError(f"unbound variable {term.name}") from None
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Proj):
+        subject = evaluate(term.subject, binding, instance)
+        return project(subject, term.attr, instance)
+    if isinstance(term, VariantTerm):
+        return Variant(term.label,
+                       evaluate(term.payload, binding, instance))
+    if isinstance(term, RecordTerm):
+        return Record(tuple(
+            (label, evaluate(value, binding, instance))
+            for label, value in term.fields))
+    if isinstance(term, SkolemTerm):
+        args = tuple(
+            (label, evaluate(value, binding, instance))
+            for label, value in term.args)
+        return Oid.keyed(term.class_name, skolem_key(term.class_name, args))
+    raise EvalError(f"cannot evaluate term {term!r}")
+
+
+def project(subject: Value, attr: str,
+            instance: Optional[Instance]) -> Value:
+    """Project ``attr`` from ``subject``, dereferencing oids."""
+    if isinstance(subject, Oid):
+        if instance is None:
+            raise EvalError(
+                f"cannot dereference {subject} without an instance")
+        try:
+            subject = instance.value_of(subject)
+        except InstanceError as exc:
+            raise EvalError(str(exc)) from exc
+    if not isinstance(subject, Record):
+        raise EvalError(f"cannot project {attr!r} from non-record value")
+    if not subject.has(attr):
+        raise EvalError(f"record has no attribute {attr!r}")
+    return subject.get(attr)

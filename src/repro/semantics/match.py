@@ -1,0 +1,413 @@
+"""Conjunctive matching: enumerate variable bindings satisfying atoms.
+
+This is the shared evaluation core of the satisfaction checker
+(:mod:`repro.semantics.satisfaction`) and the one-pass execution engine
+(:mod:`repro.engine.executor`): given a set of atoms and an instance,
+enumerate all bindings of the atoms' variables that make every atom true.
+
+Atoms are processed in a data-driven order: at each step the matcher picks
+an atom that is *ready* under the current binding — one that can either be
+tested outright or used to generate/propagate bindings.  Range-restricted
+clauses always admit such an order; if no atom is ever ready the clause is
+reported as non-evaluable rather than silently dropped.
+
+Pattern unification against values supports the invertible positions of
+:mod:`repro.lang.range_restriction`: variables, record fields, variant
+payloads and Skolem arguments (recovering arguments from keyed identities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang.ast import (Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom,
+                        MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm,
+                        Term, Var, VariantTerm)
+from ..model.instance import Instance
+from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
+from .eval import (Binding, EvalError, evaluate, is_evaluable, project,
+                   skolem_key)
+
+
+class MatchError(Exception):
+    """Raised when atoms cannot be ordered for evaluation."""
+
+
+def unify_term(term: Term, value: Value, binding: Binding,
+               instance: Optional[Instance]) -> Optional[Binding]:
+    """Unify a term pattern against a concrete value.
+
+    Returns an extended binding, or None when the unification fails.  The
+    input binding is never mutated.
+    """
+    if isinstance(term, Var):
+        bound = binding.get(term.name)
+        if bound is None:
+            extended = dict(binding)
+            extended[term.name] = value
+            return extended
+        return binding if bound == value else None
+    if isinstance(term, Const):
+        return binding if term.value == value else None
+    if isinstance(term, RecordTerm):
+        if not isinstance(value, Record):
+            return None
+        if set(term.labels()) != set(value.labels()):
+            return None
+        current: Optional[Binding] = binding
+        for label, sub in term.fields:
+            current = unify_term(sub, value.get(label), current, instance)
+            if current is None:
+                return None
+        return current
+    if isinstance(term, VariantTerm):
+        if not isinstance(value, Variant) or value.label != term.label:
+            return None
+        return unify_term(term.payload, value.value, binding, instance)
+    if isinstance(term, SkolemTerm):
+        if not (isinstance(value, Oid) and value.is_keyed
+                and value.class_name == term.class_name):
+            return None
+        return _unify_skolem_args(term, value.key, binding, instance)
+    if isinstance(term, Proj):
+        # Projections are not invertible: only usable when evaluable.
+        if not is_evaluable(term, binding):
+            return None
+        try:
+            actual = evaluate(term, binding, instance)
+        except EvalError:
+            return None
+        return binding if actual == value else None
+    return None
+
+
+def _unify_skolem_args(term: SkolemTerm, key: Value, binding: Binding,
+                       instance: Optional[Instance]) -> Optional[Binding]:
+    """Recover Skolem arguments from a keyed oid's key and unify them."""
+    args = list(term.args)
+    if not args:
+        return binding if key == Record(()) else None
+    if args[0][0] is None:
+        if len(args) == 1:
+            return unify_term(args[0][1], key, binding, instance)
+        if not isinstance(key, Record):
+            return None
+        current: Optional[Binding] = binding
+        for index, (_, sub) in enumerate(args):
+            label = f"arg{index}"
+            if not key.has(label):
+                return None
+            current = unify_term(sub, key.get(label), current, instance)
+            if current is None:
+                return None
+        return current
+    if not isinstance(key, Record):
+        return None
+    if set(key.labels()) != {label for label, _ in args}:
+        return None
+    current = binding
+    for label, sub in args:
+        current = unify_term(sub, key.get(label), current, instance)
+        if current is None:
+            return None
+    return current
+
+
+def _is_pattern(term: Term) -> bool:
+    """Can ``term`` be driven by unification against a value?"""
+    if isinstance(term, (Var, Const)):
+        return True
+    if isinstance(term, RecordTerm):
+        return all(_is_pattern(sub) for _, sub in term.fields)
+    if isinstance(term, VariantTerm):
+        return _is_pattern(term.payload)
+    if isinstance(term, SkolemTerm):
+        return all(_is_pattern(sub) for _, sub in term.args)
+    return False  # projections need evaluation
+
+
+class Matcher:
+    """Enumerates bindings satisfying a conjunction of atoms.
+
+    ``prefer_tests`` enables the join-ordering heuristic: among ready
+    atoms, run cheap tests before opening generators, pruning partial
+    bindings as early as possible.  Disabling it (atoms processed in
+    textual order, generators included) is the A2 ablation — the results
+    are identical but the search explores more bindings.
+    """
+
+    def __init__(self, instance: Instance,
+                 prefer_tests: bool = True,
+                 use_indexes: bool = True) -> None:
+        self.instance = instance
+        self.prefer_tests = prefer_tests
+        self.use_indexes = use_indexes
+        # Lazily-built hash indexes: (class, attribute path) -> value ->
+        # matching oids.  These turn equality joins over class extents
+        # into hash lookups, keeping normal-form execution one-pass in
+        # spirit *and* in cost.
+        self._path_index: Dict[Tuple[str, Tuple[str, ...]],
+                               Dict[Value, Tuple[Oid, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    def solutions(self, atoms: Sequence[Atom],
+                  initial: Optional[Binding] = None) -> Iterator[Binding]:
+        """All bindings extending ``initial`` that satisfy ``atoms``."""
+        yield from self._solve(list(atoms), dict(initial or {}))
+
+    def satisfiable(self, atoms: Sequence[Atom],
+                    initial: Optional[Binding] = None) -> bool:
+        """True iff at least one satisfying binding exists."""
+        for _ in self.solutions(atoms, initial):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _solve(self, atoms: List[Atom],
+               binding: Binding) -> Iterator[Binding]:
+        if not atoms:
+            yield binding
+            return
+        index = self._pick_ready(atoms, binding)
+        if index is None:
+            pending = ", ".join(str(a) for a in atoms)
+            raise MatchError(
+                f"no atom is ready under the current binding; "
+                f"pending: {pending} (is the clause range-restricted?)")
+        atom = atoms[index]
+        rest = atoms[:index] + atoms[index + 1:]
+        for extended in self._expand(atom, binding, rest):
+            yield from self._solve(rest, extended)
+
+    def _pick_ready(self, atoms: Sequence[Atom],
+                    binding: Binding) -> Optional[int]:
+        """Index of the best ready atom.
+
+        Priority: tests (filter immediately) > binds (deterministic
+        definitions — they never multiply bindings and make values
+        available to index selectors) > generators (enumerations).
+        """
+        bind_index: Optional[int] = None
+        generator_index: Optional[int] = None
+        for index, atom in enumerate(atoms):
+            readiness = self._readiness(atom, binding)
+            if readiness == "test":
+                return index
+            if readiness is None:
+                continue
+            if not self.prefer_tests:
+                return index
+            if readiness == "bind":
+                if bind_index is None:
+                    bind_index = index
+            elif generator_index is None:
+                generator_index = index
+        if bind_index is not None:
+            return bind_index
+        return generator_index
+
+    def _readiness(self, atom: Atom, binding: Binding) -> Optional[str]:
+        if isinstance(atom, MemberAtom):
+            if is_evaluable(atom.element, binding):
+                return "test"
+            if _is_pattern(atom.element):
+                return "generate"
+            return None
+        if isinstance(atom, InAtom):
+            if not is_evaluable(atom.collection, binding):
+                return None
+            if is_evaluable(atom.element, binding):
+                return "test"
+            if _is_pattern(atom.element):
+                return "generate"
+            return None
+        if isinstance(atom, EqAtom):
+            left_ok = is_evaluable(atom.left, binding)
+            right_ok = is_evaluable(atom.right, binding)
+            if left_ok and right_ok:
+                return "test"
+            if left_ok and _is_pattern(atom.right):
+                return "bind"
+            if right_ok and _is_pattern(atom.left):
+                return "bind"
+            return None
+        if isinstance(atom, (NeqAtom, LtAtom, LeqAtom)):
+            if (is_evaluable(atom.left, binding)
+                    and is_evaluable(atom.right, binding)):
+                return "test"
+            return None
+        return None
+
+    def _expand(self, atom: Atom, binding: Binding,
+                rest: Sequence[Atom] = ()) -> Iterator[Binding]:
+        if isinstance(atom, MemberAtom):
+            if is_evaluable(atom.element, binding):
+                value = self._try_eval(atom.element, binding)
+                if (isinstance(value, Oid)
+                        and value.class_name == atom.class_name
+                        and self.instance.has_object(value)):
+                    yield binding
+                return
+            candidates = self._member_candidates(atom, binding, rest)
+            for oid in candidates:
+                extended = unify_term(atom.element, oid, binding,
+                                      self.instance)
+                if extended is not None:
+                    yield extended
+            return
+        if isinstance(atom, InAtom):
+            collection = self._try_eval(atom.collection, binding)
+            if not isinstance(collection, (WolSet, WolList)):
+                return
+            if is_evaluable(atom.element, binding):
+                value = self._try_eval(atom.element, binding)
+                if any(value == element for element in collection):
+                    yield binding
+                return
+            for element in _deterministic(collection):
+                extended = unify_term(atom.element, element, binding,
+                                      self.instance)
+                if extended is not None:
+                    yield extended
+            return
+        if isinstance(atom, EqAtom):
+            left_ok = is_evaluable(atom.left, binding)
+            right_ok = is_evaluable(atom.right, binding)
+            if left_ok and right_ok:
+                left = self._try_eval(atom.left, binding)
+                right = self._try_eval(atom.right, binding)
+                if left is not None and left == right:
+                    yield binding
+                return
+            if left_ok:
+                value = self._try_eval(atom.left, binding)
+                if value is None:
+                    return
+                extended = unify_term(atom.right, value, binding,
+                                      self.instance)
+            else:
+                value = self._try_eval(atom.right, binding)
+                if value is None:
+                    return
+                extended = unify_term(atom.left, value, binding,
+                                      self.instance)
+            if extended is not None:
+                yield extended
+            return
+        if isinstance(atom, NeqAtom):
+            left = self._try_eval(atom.left, binding)
+            right = self._try_eval(atom.right, binding)
+            if left is not None and right is not None and left != right:
+                yield binding
+            return
+        if isinstance(atom, (LtAtom, LeqAtom)):
+            left = self._try_eval(atom.left, binding)
+            right = self._try_eval(atom.right, binding)
+            if left is None or right is None:
+                return
+            try:
+                holds = (left < right if isinstance(atom, LtAtom)
+                         else left <= right)
+            except TypeError:
+                return
+            if holds:
+                yield binding
+            return
+
+    def _try_eval(self, term: Term, binding: Binding) -> Optional[Value]:
+        try:
+            return evaluate(term, binding, self.instance)
+        except EvalError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Index-assisted generation
+    # ------------------------------------------------------------------
+    def _member_candidates(self, atom: MemberAtom, binding: Binding,
+                           rest: Sequence[Atom]) -> Sequence[Oid]:
+        """Candidate oids for a membership generator.
+
+        When the pending atoms determine the value of some projection
+        path of the element (``X.country.name = <bound>``), a lazily
+        built hash index narrows the candidates to the matching oids —
+        the equality join becomes a lookup instead of a scan.
+        """
+        extent = self.instance.objects_of(atom.class_name)
+        if not self.use_indexes or not isinstance(atom.element, Var):
+            return extent
+        selector = self._find_selector(atom.element.name, binding, rest)
+        if selector is None:
+            return extent
+        path, value = selector
+        index = self._index_for(atom.class_name, path)
+        return index.get(value, ())
+
+    def _find_selector(self, element: str, binding: Binding,
+                       rest: Sequence[Atom]
+                       ) -> Optional[Tuple[Tuple[str, ...], Value]]:
+        """A (projection path, known value) pair selecting the element.
+
+        Follows chains of SNF definitions ``V = X.a``, ``W = V.b`` ...
+        from the element variable, and values known either from the
+        binding or from constant equations among the pending atoms.
+        """
+        chains: Dict[str, Tuple[str, ...]] = {element: ()}
+        constants: Dict[str, Value] = {}
+        for atom in rest:
+            if (isinstance(atom, EqAtom) and isinstance(atom.left, Var)
+                    and isinstance(atom.right, Const)):
+                constants[atom.left.name] = atom.right.value
+            elif (isinstance(atom, EqAtom)
+                    and isinstance(atom.left, Const)
+                    and isinstance(atom.right, Var)):
+                constants[atom.right.name] = atom.left.value
+
+        best: Optional[Tuple[Tuple[str, ...], Value]] = None
+        for _ in range(4):  # bounded chain depth
+            progressed = False
+            for atom in rest:
+                if not (isinstance(atom, EqAtom)
+                        and isinstance(atom.left, Var)
+                        and isinstance(atom.right, Proj)
+                        and isinstance(atom.right.subject, Var)):
+                    continue
+                subject = atom.right.subject.name
+                defined = atom.left.name
+                if subject not in chains or defined in chains:
+                    continue
+                chains[defined] = chains[subject] + (atom.right.attr,)
+                progressed = True
+                value = binding.get(defined, constants.get(defined))
+                if value is not None and best is None:
+                    best = (chains[defined], value)
+            if best is not None or not progressed:
+                break
+        return best
+
+    def _index_for(self, class_name: str, path: Tuple[str, ...]
+                   ) -> Dict[Value, Tuple[Oid, ...]]:
+        key = (class_name, path)
+        index = self._path_index.get(key)
+        if index is not None:
+            return index
+        built: Dict[Value, List[Oid]] = {}
+        for oid in self.instance.objects_of(class_name):
+            value: Optional[Value] = oid
+            for attr in path:
+                try:
+                    value = project(value, attr, self.instance)
+                except EvalError:
+                    value = None
+                    break
+            if value is not None:
+                built.setdefault(value, []).append(oid)
+        frozen = {value: tuple(oids) for value, oids in built.items()}
+        self._path_index[key] = frozen
+        return frozen
+
+
+def _deterministic(collection) -> List[Value]:
+    """Iterate a collection in a deterministic order."""
+    if isinstance(collection, WolList):
+        return list(collection)
+    return sorted(collection, key=str)

@@ -1,0 +1,98 @@
+"""Clause satisfaction over instances (paper Section 3.1).
+
+A clause is *satisfied* iff for every instantiation of the body variables
+making all body atoms true, there is an instantiation of any additional head
+variables making all head atoms true.
+
+Clauses may span several databases (constraints over a source, over a
+target, or inter-database transformation clauses); callers merge the
+participating instances with :func:`merge_instances` first so that one
+valuation covers every class mentioned.
+
+Skolem terms are interpreted canonically: ``Mk_C(args)`` denotes the keyed
+object identity determined by its argument values.  Satisfaction of key
+clauses like ``Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name`` therefore
+holds exactly for instances whose oids *are* the Skolem-generated ones —
+which is what the execution engine produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..lang.ast import Atom, Clause, Program
+from ..model.instance import Instance, InstanceError
+from ..model.schema import Schema, merge_schemas
+from ..model.values import Oid, Value, format_value
+from .eval import Binding
+from .match import Matcher
+
+
+@dataclass
+class Violation:
+    """A body binding with no head extension: a counterexample."""
+
+    clause: Clause
+    binding: Binding
+
+    def __str__(self) -> str:
+        label = self.clause.name or str(self.clause)
+        witness = ", ".join(
+            f"{name} = {format_value(value)}"
+            for name, value in sorted(self.binding.items()))
+        return f"clause {label} violated at {{{witness}}}"
+
+
+def merge_instances(name: str, instances: Sequence[Instance]) -> Instance:
+    """Union several instances over the merged schema.
+
+    Class names must be disjoint across the inputs (use distinct schemas per
+    database, as the paper does).
+    """
+    schema = merge_schemas(name, [inst.schema for inst in instances])
+    valuations: Dict[str, Dict[Oid, Value]] = {}
+    for inst in instances:
+        for cname in inst.schema.class_names():
+            valuations[cname] = dict(inst.valuations[cname])
+    return Instance(schema, valuations)
+
+
+def clause_violations(instance: Instance, clause: Clause,
+                      limit: Optional[int] = None) -> List[Violation]:
+    """Counterexamples to ``clause`` in ``instance`` (up to ``limit``)."""
+    matcher = Matcher(instance)
+    body_vars = frozenset().union(
+        *(atom.variables() for atom in clause.body)) if clause.body else frozenset()
+    violations: List[Violation] = []
+    for body_binding in matcher.solutions(clause.body):
+        # Project to body variables: head checking re-derives the rest.
+        projected = {name: value for name, value in body_binding.items()
+                     if name in body_vars}
+        if not matcher.satisfiable(clause.head, projected):
+            violations.append(Violation(clause, projected))
+            if limit is not None and len(violations) >= limit:
+                return violations
+    return violations
+
+
+def satisfies_clause(instance: Instance, clause: Clause) -> bool:
+    """True iff ``instance`` satisfies ``clause``."""
+    return not clause_violations(instance, clause, limit=1)
+
+
+def program_violations(instance: Instance, program: Iterable[Clause],
+                       limit_per_clause: Optional[int] = None
+                       ) -> List[Violation]:
+    """All violations of all clauses (constraint audit)."""
+    violations: List[Violation] = []
+    for clause in program:
+        violations.extend(
+            clause_violations(instance, clause, limit_per_clause))
+    return violations
+
+
+def satisfies_program(instance: Instance,
+                      program: Iterable[Clause]) -> bool:
+    """True iff every clause is satisfied."""
+    return not program_violations(instance, program, limit_per_clause=1)

@@ -1,0 +1,5 @@
+"""Workloads: the paper's examples plus synthetic generators."""
+
+from . import cities, genome, persons, relibase, synthetic
+
+__all__ = ["cities", "genome", "persons", "relibase", "synthetic"]

@@ -1,0 +1,229 @@
+"""The paper's running example: US / European cities integration.
+
+Figures 1-3 and Examples 1.1, 2.1-2.3 define three databases:
+
+* **US** (Figure 1): ``CityA`` (name, state) and ``StateA`` (name, capital).
+* **Euro** (Figure 2): ``CityE`` (name, is_capital, country) and
+  ``CountryE`` (name, language, currency).
+* **Target** (Figure 3): ``CityT`` with a variant ``place`` that is either a
+  ``StateT`` or a ``CountryT``; both have a ``capital`` attribute pointing
+  at the capital ``CityT`` — the Boolean ``is_capital`` of the source is
+  re-represented as a reference.
+
+This module provides the schemas (keyed per Example 2.3), the WOL
+integration program (clauses (C1)-(C5), (T1)-(T3) plus the symmetric US-side
+clauses the paper leaves implicit), concrete sample instances (Example 2.2),
+and parametric generators for benchmarking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..model.instance import Instance, InstanceBuilder
+from ..model.keys import KeyedSchema
+from ..model.schema import parse_schema
+from ..model.values import Oid, Record
+from ..lang.ast import Program
+from ..lang.parser import parse_program
+
+US_SCHEMA_TEXT = """
+schema US {
+  class CityA  = (name: str, state: StateA)  key name;
+  class StateA = (name: str, capital: CityA) key name;
+}
+"""
+
+EURO_SCHEMA_TEXT = """
+schema Euro {
+  class CityE    = (name: str, is_capital: bool, country: CountryE)
+                   key name, country.name;
+  class CountryE = (name: str, language: str, currency: str) key name;
+}
+"""
+
+TARGET_SCHEMA_TEXT = """
+schema Target {
+  class CityT    = (name: str,
+                    place: <<euro_city: CountryT, us_city: StateT>>)
+                   key name;
+  class CountryT = (name: str, language: str, currency: str,
+                    capital: CityT) key name;
+  class StateT   = (name: str, capital: CityT) key name;
+}
+"""
+
+#: The integration program.  Clause names follow the paper; the paper's (C2)
+#: writes ``X.country`` for the target city where Figure 3 calls the
+#: attribute ``place`` — we follow the figure.  Clauses (U1)-(U3) are the
+#: US-side analogues of (T1)-(T3), which the paper describes in prose.
+PROGRAM_TEXT = """
+-- (C1): in the US database, a state's capital city belongs to that state.
+constraint C1:
+  X.state = Y <= Y in StateA, X = Y.capital;
+
+-- (C2): surrogate key for target cities.  The paper keys a city by its
+-- name together with the place (country/state) identity, so two cities may
+-- share a name as long as they are somewhere different.
+constraint C2:
+  X = Mk_CityT(name = N, place = P) <= X in CityT, N = X.name, P = X.place;
+
+-- (C3): surrogate key for target countries.
+constraint C3:
+  Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name;
+
+-- (C3b): surrogate key for target states.
+constraint C3b:
+  Y = Mk_StateT(N) <= Y in StateT, N = Y.name;
+
+-- (C4): every European country has a capital city.
+constraint C4:
+  Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE;
+
+-- (C5): ...and at most one.
+constraint C5:
+  X = Y <= X in CityE, Y in CityE, X.country = Y.country,
+           X.is_capital = true, Y.is_capital = true;
+
+-- (T1): target countries from European countries.
+transformation T1:
+  X in CountryT, X.name = E.name, X.language = E.language,
+  X.currency = E.currency
+  <= E in CountryE;
+
+-- (T2): target cities from European cities.
+transformation T2:
+  Y in CityT, Y.name = E.name, Y.place = ins_euro_city(X)
+  <= E in CityE, X in CountryT, X.name = E.country.name;
+
+-- (T3): the capital attribute of target countries.
+transformation T3:
+  X.capital = Y
+  <= X in CountryT, Y in CityT, Y.place = ins_euro_city(X),
+     E in CityE, E.name = Y.name, E.country.name = X.name,
+     E.is_capital = true;
+
+-- (U1): target states from US states.
+transformation U1:
+  X in StateT, X.name = S.name <= S in StateA;
+
+-- (U2): target cities from US cities.
+transformation U2:
+  Y in CityT, Y.name = A.name, Y.place = ins_us_city(X)
+  <= A in CityA, X in StateT, X.name = A.state.name;
+
+-- (U3): the capital attribute of target states.
+transformation U3:
+  X.capital = Y
+  <= X in StateT, Y in CityT, Y.place = ins_us_city(X),
+     S in StateA, S.name = X.name, C = S.capital, C.name = Y.name;
+"""
+
+
+def us_schema() -> KeyedSchema:
+    """Figure 1 schema, keyed."""
+    return parse_schema(US_SCHEMA_TEXT)
+
+
+def euro_schema() -> KeyedSchema:
+    """Figure 2 schema, keyed per Example 2.3."""
+    return parse_schema(EURO_SCHEMA_TEXT)
+
+
+def target_schema() -> KeyedSchema:
+    """Figure 3 schema, keyed."""
+    return parse_schema(TARGET_SCHEMA_TEXT)
+
+
+def integration_program() -> Program:
+    """The full integration program (constraints + transformations)."""
+    classes = (us_schema().schema.class_names()
+               + euro_schema().schema.class_names()
+               + target_schema().schema.class_names())
+    return parse_program(PROGRAM_TEXT, classes=classes)
+
+
+#: (country, language, currency, capital, other cities)
+_EURO_DATA = [
+    ("United Kingdom", "English", "sterling", "London", ["Manchester"]),
+    ("France", "French", "franc", "Paris", ["Lyon"]),
+    ("Germany", "German", "mark", "Berlin", ["Bonn", "Munich"]),
+]
+
+#: (state, capital, other cities)
+_US_DATA = [
+    ("Pennsylvania", "Harrisburg", ["Philadelphia", "Pittsburgh"]),
+    ("California", "Sacramento", ["Berkeley"]),
+]
+
+
+def sample_euro_instance() -> Instance:
+    """The instance of Example 2.2 (extended with Germany)."""
+    builder = InstanceBuilder(euro_schema().schema)
+    for name, language, currency, capital, others in _EURO_DATA:
+        country = builder.new("CountryE", Record.of(
+            name=name, language=language, currency=currency))
+        builder.new("CityE", Record.of(
+            name=capital, is_capital=True, country=country))
+        for city in others:
+            builder.new("CityE", Record.of(
+                name=city, is_capital=False, country=country))
+    return builder.freeze()
+
+
+def sample_us_instance() -> Instance:
+    """A small instance of the Figure 1 schema."""
+    builder = InstanceBuilder(us_schema().schema)
+    for state_name, capital_name, others in _US_DATA:
+        state = Oid.fresh("StateA")
+        capital = builder.new("CityA", Record.of(
+            name=capital_name, state=state))
+        builder.put(state, Record.of(name=state_name, capital=capital))
+        for city in others:
+            builder.new("CityA", Record.of(name=city, state=state))
+    return builder.freeze()
+
+
+def generate_euro_instance(countries: int, cities_per_country: int,
+                           seed: int = 0) -> Instance:
+    """A synthetic Euro instance for scaling experiments.
+
+    Every country gets exactly one capital plus ``cities_per_country - 1``
+    ordinary cities, so constraints (C4)/(C5) hold by construction.
+    """
+    if cities_per_country < 1:
+        raise ValueError("each country needs at least its capital city")
+    rng = random.Random(seed)
+    languages = ["English", "French", "German", "Spanish", "Italian"]
+    currencies = ["sterling", "franc", "mark", "peseta", "lira"]
+    builder = InstanceBuilder(euro_schema().schema)
+    for index in range(countries):
+        country = builder.new("CountryE", Record.of(
+            name=f"Country{index}",
+            language=rng.choice(languages),
+            currency=rng.choice(currencies)))
+        builder.new("CityE", Record.of(
+            name=f"Capital{index}", is_capital=True, country=country))
+        for city_index in range(cities_per_country - 1):
+            builder.new("CityE", Record.of(
+                name=f"City{index}_{city_index}", is_capital=False,
+                country=country))
+    return builder.freeze()
+
+
+def generate_us_instance(states: int, cities_per_state: int,
+                         seed: int = 0) -> Instance:
+    """A synthetic US instance for scaling experiments."""
+    if cities_per_state < 1:
+        raise ValueError("each state needs at least its capital city")
+    builder = InstanceBuilder(us_schema().schema)
+    for index in range(states):
+        state = Oid.fresh("StateA")
+        capital = builder.new("CityA", Record.of(
+            name=f"StCapital{index}", state=state))
+        builder.put(state, Record.of(name=f"State{index}", capital=capital))
+        for city_index in range(cities_per_state - 1):
+            builder.new("CityA", Record.of(
+                name=f"StCity{index}_{city_index}", state=state))
+    return builder.freeze()

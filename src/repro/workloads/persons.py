@@ -1,0 +1,154 @@
+"""The paper's schema-evolution example (Figures 4-5, Example 4.2).
+
+The source schema has one class ``Person`` with a variant ``sex`` and a
+``spouse`` reference.  The evolved schema splits ``Person`` into ``Male``
+and ``Female`` and reifies the ``spouse`` attribute into a ``Marriage``
+class.  The transformation is the paper's (T6)-(T8); it is information
+preserving only on sources satisfying the constraints (C9)-(C11), which is
+the core of Section 4.3's argument.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..lang.ast import Program
+from ..lang.parser import parse_program
+from ..model.instance import Instance, InstanceBuilder
+from ..model.keys import KeyedSchema
+from ..model.schema import Schema, parse_schema
+from ..model.values import Oid, Record, Variant
+
+PERSON_SCHEMA_TEXT = """
+schema People {
+  class Person = (name: str,
+                  sex: <<male: unit, female: unit>>,
+                  spouse: Person) key name;
+}
+"""
+
+#: The evolved schema.  Marriage cannot carry a schema-level (value-based)
+#: key because its identity is the pair of spouses — object identities —
+#: so its key clause is written by hand in the program below.
+EVOLVED_SCHEMA_TEXT = """
+schema Evolved {
+  class Male     = (name: str) key name;
+  class Female   = (name: str) key name;
+  class Marriage = (husband: Male, wife: Female);
+}
+"""
+
+PROGRAM_TEXT = """
+-- (T6): men become Male objects.
+transformation T6:
+  X in Male, X.name = N
+  <= Y in Person, Y.name = N, Y.sex = ins_male();
+
+-- (T7): women become Female objects.
+transformation T7:
+  X in Female, X.name = N
+  <= Y in Person, Y.name = N, Y.sex = ins_female();
+
+-- (T8): spouse links become Marriage objects.
+transformation T8:
+  M in Marriage, M.husband = X, M.wife = Y
+  <= X in Male, Y in Female, Z in Person, W in Person,
+     X.name = Z.name, Y.name = W.name, W = Z.spouse;
+
+-- Key clause for Marriage: identified by the married pair.
+constraint KeyMarriage:
+  M = Mk_Marriage(husband = H, wife = W)
+  <= M in Marriage, H = M.husband, W = M.wife;
+
+-- (C9): the spouse of a woman is a man.
+constraint C9:
+  X.sex = ins_male()
+  <= Y in Person, Y.sex = ins_female(), X = Y.spouse;
+
+-- (C10): the spouse of a man is a woman.
+constraint C10:
+  Y.sex = ins_female()
+  <= X in Person, X.sex = ins_male(), Y = X.spouse;
+
+-- (C11): spouse is symmetric.
+constraint C11:
+  Y = X.spouse <= Y in Person, X = Y.spouse;
+"""
+
+
+def person_schema() -> KeyedSchema:
+    """Figure 4 schema, keyed by name."""
+    return parse_schema(PERSON_SCHEMA_TEXT)
+
+
+def evolved_schema() -> KeyedSchema:
+    """Figure 5 schema."""
+    return parse_schema(EVOLVED_SCHEMA_TEXT)
+
+
+def evolution_program() -> Program:
+    """(T6)-(T8) plus the marriage key and constraints (C9)-(C11)."""
+    classes = (person_schema().schema.class_names()
+               + evolved_schema().schema.class_names())
+    return parse_program(PROGRAM_TEXT, classes=classes)
+
+
+def couples_instance(couples: List[Tuple[str, str]]) -> Instance:
+    """A well-constrained instance: each pair (man, woman) married both
+    ways, satisfying (C9)-(C11)."""
+    builder = InstanceBuilder(person_schema().schema)
+    for man_name, woman_name in couples:
+        man = Oid.fresh("Person")
+        woman = Oid.fresh("Person")
+        builder.put(man, Record.of(
+            name=man_name, sex=Variant("male"), spouse=woman))
+        builder.put(woman, Record.of(
+            name=woman_name, sex=Variant("female"), spouse=man))
+    return builder.freeze()
+
+
+def sample_instance() -> Instance:
+    return couples_instance(
+        [("Adam", "Beth"), ("Carl", "Dana"), ("Evan", "Faye")])
+
+
+def generate_instance(couples: int, seed: int = 0) -> Instance:
+    """``couples`` married pairs with unique names."""
+    return couples_instance(
+        [(f"M{i}", f"F{i}") for i in range(couples)])
+
+
+def asymmetric_instance() -> Instance:
+    """An instance violating (C11): Ann's spouse is Bob, Bob's is Cara.
+
+    The evolved schema cannot represent this asymmetry — transforming it
+    loses information (Section 4.3's point).
+    """
+    builder = InstanceBuilder(person_schema().schema)
+    ann, bob, cara = (Oid.fresh("Person") for _ in range(3))
+    builder.put(ann, Record.of(
+        name="Ann", sex=Variant("female"), spouse=bob))
+    builder.put(bob, Record.of(
+        name="Bob", sex=Variant("male"), spouse=cara))
+    builder.put(cara, Record.of(
+        name="Cara", sex=Variant("female"), spouse=bob))
+    return builder.freeze()
+
+
+def symmetric_variant_of_asymmetric() -> Instance:
+    """Bob married to Cara both ways, Ann married... also to Bob one way.
+
+    Together with :func:`asymmetric_instance` this gives two *distinct*
+    sources with the same (T6)-(T8) image: the transformation is not
+    injective on unconstrained sources.
+    """
+    builder = InstanceBuilder(person_schema().schema)
+    ann, bob, cara = (Oid.fresh("Person") for _ in range(3))
+    builder.put(ann, Record.of(
+        name="Ann", sex=Variant("female"), spouse=ann))
+    builder.put(bob, Record.of(
+        name="Bob", sex=Variant("male"), spouse=cara))
+    builder.put(cara, Record.of(
+        name="Cara", sex=Variant("female"), spouse=bob))
+    return builder.freeze()

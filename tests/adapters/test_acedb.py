@@ -1,0 +1,146 @@
+"""Unit tests for the ACeDB-style substrate and adapter."""
+
+import pytest
+
+from repro.adapters import (AceClass, AceDatabase, AceError, TagSpec,
+                            import_acedb, schema_of_acedb)
+from repro.model import Oid, SetType, STR, WolSet
+from repro.workloads import genome
+
+
+def tiny_classes():
+    return [
+        AceClass("Gene", (TagSpec("symbol", "str"),)),
+        AceClass("Sequence", (
+            TagSpec("dna_length", "int"),
+            TagSpec("gene", "ref", "Gene"),
+        )),
+    ]
+
+
+class TestDeclarations:
+    def test_ref_tag_needs_target(self):
+        with pytest.raises(AceError):
+            TagSpec("gene", "ref")
+
+    def test_scalar_tag_cannot_reference(self):
+        with pytest.raises(AceError):
+            TagSpec("x", "int", "Gene")
+
+    def test_unknown_tag_type(self):
+        with pytest.raises(AceError):
+            TagSpec("x", "blob")
+
+    def test_name_tag_reserved(self):
+        with pytest.raises(AceError):
+            AceClass("C", (TagSpec("name", "str"),))
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(AceError):
+            AceClass("C", (TagSpec("a", "str"), TagSpec("a", "int")))
+
+
+class TestStore:
+    def test_duplicate_object_rejected(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Gene", "COMT")
+        with pytest.raises(AceError):
+            db.new_object("Gene", "COMT")
+
+    def test_unknown_class_rejected(self):
+        db = AceDatabase("D", tiny_classes())
+        with pytest.raises(AceError):
+            db.new_object("Planet", "Mars")
+
+    def test_validation_catches_bad_scalar(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Sequence", "S1").add("dna_length", "long")
+        assert db.validate()
+
+    def test_validation_catches_dangling_ref(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Sequence", "S1").add_ref("gene", "Gene", "GHOST")
+        assert db.validate()
+
+    def test_validation_catches_wrong_ref_class(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Gene", "G")
+        db.new_object("Sequence", "S1").add_ref("gene", "Sequence", "S1")
+        assert db.validate()
+
+    def test_valid_database(self):
+        db = genome.sample_acedb()
+        assert db.validate() == []
+
+
+class TestImport:
+    def test_schema_is_set_valued(self):
+        db = AceDatabase("D", tiny_classes())
+        keyed = schema_of_acedb(db)
+        assert keyed.schema.attribute_type("Gene", "symbol") == SetType(STR)
+        assert keyed.schema.attribute_type("Gene", "name") == STR
+        assert keyed.keys.has_key("Gene")
+
+    def test_sparse_tags_become_empty_sets(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Gene", "COMT")  # no tags at all
+        instance = import_acedb(db)
+        oid = Oid.keyed("Gene", "COMT")
+        assert instance.attribute(oid, "symbol") == WolSet.of()
+
+    def test_multivalued_tags_preserved(self):
+        db = AceDatabase("D", tiny_classes())
+        obj = db.new_object("Gene", "COMT")
+        obj.add("symbol", "comt")
+        obj.add("symbol", "COMT1")
+        instance = import_acedb(db)
+        oid = Oid.keyed("Gene", "COMT")
+        assert instance.attribute(oid, "symbol") == WolSet.of(
+            "comt", "COMT1")
+
+    def test_references_become_keyed_oids(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Gene", "COMT")
+        db.new_object("Sequence", "S1").add_ref("gene", "Gene", "COMT")
+        instance = import_acedb(db)
+        seq = Oid.keyed("Sequence", "S1")
+        assert instance.attribute(seq, "gene") == WolSet.of(
+            Oid.keyed("Gene", "COMT"))
+
+    def test_import_validates(self):
+        db = AceDatabase("D", tiny_classes())
+        db.new_object("Sequence", "S1").add_ref("gene", "Gene", "GHOST")
+        with pytest.raises(AceError):
+            import_acedb(db)
+
+    def test_sample_imports_cleanly(self):
+        instance = genome.source_instance()
+        instance.validate()
+        assert instance.class_sizes() == {
+            "Clone": 3, "Gene": 2, "Sequence": 3}
+
+
+class TestGenerator:
+    def test_generated_database_valid(self):
+        db = genome.generate_acedb(5, 10, 15, sparsity=0.7, seed=3)
+        assert db.validate() == []
+        assert len(db.objects_of("Gene")) == 5
+        assert len(db.objects_of("Sequence")) == 10
+        assert len(db.objects_of("Clone")) == 15
+
+    def test_sparsity_zero_populates_nothing_optional(self):
+        db = genome.generate_acedb(2, 2, 2, sparsity=0.0, seed=0)
+        for obj in db.objects_of("Sequence"):
+            assert not obj.tags and not obj.refs
+
+    def test_sparsity_one_populates_everything(self):
+        db = genome.generate_acedb(2, 2, 2, sparsity=1.0, seed=0)
+        for obj in db.objects_of("Sequence"):
+            assert set(obj.tags) == {"dna_length", "method"}
+            assert set(obj.refs) == {"gene"}
+
+    def test_deterministic_by_seed(self):
+        first = genome.generate_acedb(3, 3, 3, seed=7)
+        second = genome.generate_acedb(3, 3, 3, seed=7)
+        assert ({k: (o.tags, o.refs) for k, o in first.objects.items()}
+                == {k: (o.tags, o.refs) for k, o in second.objects.items()})

@@ -1,0 +1,160 @@
+"""Unit tests for the relational substrate and adapter."""
+
+import pytest
+
+from repro.adapters import (Column, RelationalDatabase, RelationalError,
+                            TableSchema, export_instance, import_database,
+                            schema_of_database)
+from repro.model import ClassType, Oid, Record, STR, INT
+
+
+def city_tables():
+    return [
+        TableSchema("Country", (
+            Column("name", "str"),
+            Column("language", "str"),
+        ), ("name",)),
+        TableSchema("City", (
+            Column("name", "str"),
+            Column("country", "str", references="Country"),
+            Column("population", "int"),
+        ), ("name",)),
+    ]
+
+
+def populated():
+    db = RelationalDatabase("Cities", city_tables())
+    db.insert("Country", name="France", language="French")
+    db.insert("Country", name="Spain", language="Spanish")
+    db.insert("City", name="Paris", country="France", population=2_000_000)
+    db.insert("City", name="Lyon", country="France", population=500_000)
+    db.insert("City", name="Madrid", country="Spain", population=3_000_000)
+    return db
+
+
+class TestSubstrate:
+    def test_insert_and_lookup(self):
+        db = populated()
+        row = db.table("Country").lookup("France")
+        assert row["language"] == "French"
+
+    def test_duplicate_primary_key_rejected(self):
+        db = populated()
+        with pytest.raises(RelationalError):
+            db.insert("Country", name="France", language="Occitan")
+
+    def test_wrong_columns_rejected(self):
+        db = populated()
+        with pytest.raises(RelationalError):
+            db.insert("Country", name="Italy")
+
+    def test_type_mismatch_rejected(self):
+        db = populated()
+        with pytest.raises(RelationalError):
+            db.insert("Country", name="Italy", language=42)
+
+    def test_bool_is_not_int(self):
+        tables = [TableSchema("T", (Column("k", "str"),
+                                    Column("n", "int")), ("k",))]
+        db = RelationalDatabase("D", tables)
+        with pytest.raises(RelationalError):
+            db.insert("T", k="a", n=True)
+
+    def test_foreign_key_checking(self):
+        db = populated()
+        assert db.check_foreign_keys() == []
+        db.insert("City", name="Ghost", country="Atlantis", population=0)
+        assert len(db.check_foreign_keys()) == 1
+
+    def test_fk_to_unknown_table_rejected(self):
+        with pytest.raises(RelationalError):
+            RelationalDatabase("Bad", [
+                TableSchema("City", (
+                    Column("name", "str"),
+                    Column("country", "str", references="Nowhere"),
+                ), ("name",))])
+
+    def test_composite_pk_not_referencable(self):
+        with pytest.raises(RelationalError):
+            RelationalDatabase("Bad", [
+                TableSchema("Pair", (Column("a", "str"),
+                                     Column("b", "str")), ("a", "b")),
+                TableSchema("Ref", (
+                    Column("k", "str"),
+                    Column("p", "str", references="Pair"),
+                ), ("k",))])
+
+
+class TestImport:
+    def test_schema_induction(self):
+        keyed = schema_of_database(populated())
+        schema = keyed.schema
+        assert schema.attribute_type("City", "country") == ClassType(
+            "Country")
+        assert schema.attribute_type("City", "population") == INT
+        assert keyed.keys.has_key("City")
+
+    def test_import_produces_valid_instance(self):
+        instance = import_database(populated())
+        instance.validate()
+        assert instance.class_sizes() == {"City": 3, "Country": 2}
+
+    def test_references_resolved_to_oids(self):
+        instance = import_database(populated())
+        paris = Oid.keyed("City", "Paris")
+        country = instance.attribute(paris, "country")
+        assert country == Oid.keyed("Country", "France")
+        assert instance.attribute(country, "language") == "French"
+
+    def test_import_rejects_dangling_fk(self):
+        db = populated()
+        db.insert("City", name="Ghost", country="Atlantis", population=0)
+        with pytest.raises(RelationalError):
+            import_database(db)
+
+    def test_composite_key_import(self):
+        tables = [TableSchema("Edge", (
+            Column("src", "str"), Column("dst", "str"),
+            Column("weight", "int")), ("src", "dst"))]
+        db = RelationalDatabase("G", tables)
+        db.insert("Edge", src="a", dst="b", weight=1)
+        instance = import_database(db)
+        (oid,) = instance.objects_of("Edge")
+        assert oid.key == Record.of(src="a", dst="b")
+
+
+class TestExport:
+    def test_roundtrip(self):
+        original = populated()
+        instance = import_database(original)
+        exported = export_instance(instance, city_tables())
+        assert exported.check_foreign_keys() == []
+        assert {n: len(t) for n, t in exported.tables.items()} == {
+            "City": 3, "Country": 2}
+        assert exported.table("City").lookup("Paris")["country"] == "France"
+
+    def test_export_rejects_missing_column(self):
+        instance = import_database(populated())
+        tables = city_tables()
+        tables[0] = TableSchema("Country", (
+            Column("name", "str"),
+            Column("language", "str"),
+            Column("continent", "str"),
+        ), ("name",))
+        with pytest.raises(RelationalError):
+            export_instance(instance, tables)
+
+    def test_export_rejects_anonymous_references(self):
+        from repro.model import InstanceBuilder, Schema, record
+        schema = Schema.of(
+            "D",
+            Country=record(name=STR, language=STR),
+            City=record(name=STR, country=ClassType("Country"),
+                        population=INT))
+        builder = InstanceBuilder(schema)
+        anon = builder.new("Country", Record.of(
+            name="France", language="French"))
+        builder.new("City", Record.of(
+            name="Paris", country=anon, population=1))
+        with pytest.raises(RelationalError):
+            export_instance(builder.freeze(), city_tables())

@@ -1,0 +1,145 @@
+"""Unit tests for the CPL interpreter."""
+
+import pytest
+
+from repro.cpl import (CplProgram, CplRuntimeError, EBinOp, EConst, EExtent,
+                       EField, EIsVariant, EMkOid, ERecord, EVar, EVariant,
+                       EVariantPayload, Filter, Generator, Insert, LetBind,
+                       eval_expr, run_cpl, solutions)
+from repro.model import (INT, STR, InstanceBuilder, Oid, Record, Schema,
+                         Variant, WolList, WolSet, record)
+
+
+def source():
+    schema = Schema.of("Src", Item=record(name=STR, rank=INT))
+    builder = InstanceBuilder(schema)
+    builder.new("Item", Record.of(name="a", rank=1))
+    builder.new("Item", Record.of(name="b", rank=2))
+    return builder.freeze()
+
+
+class TestEvalExpr:
+    def test_const_and_var(self):
+        src = source()
+        assert eval_expr(EConst(5), {}, src) == 5
+        assert eval_expr(EVar("X"), {"X": 7}, src) == 7
+        with pytest.raises(CplRuntimeError):
+            eval_expr(EVar("X"), {}, src)
+
+    def test_record_and_field(self):
+        src = source()
+        rec = eval_expr(ERecord((("a", EConst(1)),)), {}, src)
+        assert rec == Record.of(a=1)
+        assert eval_expr(EField(EConst(rec) if False else EVar("R"), "a"),
+                         {"R": rec}, src) == 1
+
+    def test_field_dereferences_oid(self):
+        src = source()
+        oid = src.objects_of("Item")[0]
+        value = eval_expr(EField(EVar("X"), "name"), {"X": oid}, src)
+        assert isinstance(value, str)
+
+    def test_variant_ops(self):
+        src = source()
+        v = eval_expr(EVariant("l", EConst(1)), {}, src)
+        assert v == Variant("l", 1)
+        assert eval_expr(EIsVariant(EVar("V"), "l"), {"V": v}, src) is True
+        assert eval_expr(EIsVariant(EVar("V"), "m"), {"V": v}, src) is False
+        assert eval_expr(EVariantPayload(EVar("V"), "l"), {"V": v},
+                         src) == 1
+        with pytest.raises(CplRuntimeError):
+            eval_expr(EVariantPayload(EVar("V"), "m"), {"V": v}, src)
+
+    def test_mkoid(self):
+        src = source()
+        oid = eval_expr(EMkOid("Out", EConst("k")), {}, src)
+        assert oid == Oid.keyed("Out", "k")
+
+    def test_extent_sorted(self):
+        src = source()
+        extent = eval_expr(EExtent("Item"), {}, src)
+        assert isinstance(extent, WolList)
+        assert len(extent) == 2
+        with pytest.raises(CplRuntimeError):
+            eval_expr(EExtent("Ghost"), {}, src)
+
+    def test_binops(self):
+        src = source()
+        assert eval_expr(EBinOp("==", EConst(1), EConst(1)), {}, src)
+        assert eval_expr(EBinOp("<>", EConst(1), EConst(2)), {}, src)
+        assert eval_expr(EBinOp("<", EConst(1), EConst(2)), {}, src)
+        assert eval_expr(EBinOp("<=", EConst(2), EConst(2)), {}, src)
+        assert eval_expr(
+            EBinOp("in", EConst(1), EConst(WolSet.of(1, 2))), {}, src)
+        with pytest.raises(CplRuntimeError):
+            eval_expr(EBinOp("<", EConst(1), EConst("x")), {}, src)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            EBinOp("**", EConst(1), EConst(1))
+
+
+class TestSolutions:
+    def test_generator_filter_let(self):
+        src = source()
+        quals = (
+            Generator("X", EExtent("Item")),
+            LetBind("N", EField(EVar("X"), "name")),
+            Filter(EBinOp("==", EVar("N"), EConst("a"))),
+        )
+        out = list(solutions(quals, {}, src))
+        assert len(out) == 1
+        assert out[0]["N"] == "a"
+
+    def test_cartesian_product(self):
+        src = source()
+        quals = (Generator("X", EExtent("Item")),
+                 Generator("Y", EExtent("Item")))
+        assert len(list(solutions(quals, {}, src))) == 4
+
+    def test_filter_must_be_boolean_true(self):
+        src = source()
+        quals = (Filter(EConst(1)),)
+        assert list(solutions(quals, {}, src)) == []
+
+
+class TestRunCpl:
+    TARGET = Schema.of("Tgt", Out=record(name=STR))
+
+    def test_insert(self):
+        src = source()
+        program = CplProgram((Insert(
+            class_name="Out",
+            identity=EMkOid("Out", EField(EVar("X"), "name")),
+            attributes=(("name", EField(EVar("X"), "name")),),
+            qualifiers=(Generator("X", EExtent("Item")),)),))
+        target = run_cpl(program, src, self.TARGET)
+        assert target.class_sizes() == {"Out": 2}
+
+    def test_conflict_detected(self):
+        src = source()
+        program = CplProgram((
+            Insert("Out", EMkOid("Out", EConst("k")),
+                   (("name", EField(EVar("X"), "name")),),
+                   (Generator("X", EExtent("Item")),)),))
+        with pytest.raises(CplRuntimeError):
+            run_cpl(program, src, self.TARGET)
+
+    def test_incomplete_detected(self):
+        src = source()
+        program = CplProgram((Insert(
+            "Out", EMkOid("Out", EConst("k")), (),
+            (Generator("X", EExtent("Item")),)),))
+        with pytest.raises(CplRuntimeError):
+            run_cpl(program, src, self.TARGET)
+
+    def test_source_rendering(self):
+        program = CplProgram((Insert(
+            "Out", EMkOid("Out", EConst("k")),
+            (("name", EConst("v")),),
+            (Generator("X", EExtent("Item")),),
+            comment="demo"),))
+        text = program.source()
+        assert "insert Out" in text
+        assert "X <- extent(Item)" in text
+        assert "-- demo" in text

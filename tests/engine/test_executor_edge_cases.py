@@ -1,0 +1,194 @@
+"""Edge-case and failure-injection tests for the execution layer."""
+
+import pytest
+
+from repro.engine import ExecutionError, Executor, execute
+from repro.lang import parse_program
+from repro.model import (INT, STR, ClassType, InstanceBuilder, Record,
+                         Schema, WolList, WolSet, list_of, record, set_of)
+from repro.semantics import Matcher
+
+
+def source():
+    schema = Schema.of("Src", Item=record(name=STR, rank=INT))
+    builder = InstanceBuilder(schema)
+    builder.new("Item", Record.of(name="a", rank=1))
+    builder.new("Item", Record.of(name="b", rank=2))
+    builder.new("Item", Record.of(name="c", rank=2))
+    return builder.freeze()
+
+
+TARGET = Schema.of("Tgt", Out=record(name=STR, rank=INT))
+
+
+def program(text, classes=("Item", "Out")):
+    return parse_program(text, classes=list(classes))
+
+
+class TestDefaults:
+    def test_default_fills_missing_attribute(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N"
+            " <= I in Item, N = I.name;")
+        target, _ = execute(prog, source(), TARGET,
+                            defaults={("Out", "rank"): 0})
+        assert all(target.attribute(o, "rank") == 0
+                   for o in target.objects_of("Out"))
+
+    def test_default_does_not_override_derived(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N, X.rank = R"
+            " <= I in Item, N = I.name, R = I.rank;")
+        target, _ = execute(prog, source(), TARGET,
+                            defaults={("Out", "rank"): 99})
+        ranks = sorted(target.attribute(o, "rank")
+                       for o in target.objects_of("Out"))
+        assert ranks == [1, 2, 2]
+
+    def test_missing_without_default_still_errors(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N"
+            " <= I in Item, N = I.name;")
+        with pytest.raises(ExecutionError):
+            execute(prog, source(), TARGET,
+                    defaults={("Out", "other"): 0})
+
+
+class TestDuplicateFirings:
+    def test_duplicate_rows_produce_one_object(self):
+        # Ranks 2 appears twice: keyed by rank, both rows collapse.
+        target_schema = Schema.of("Tgt", Out=record(rank=INT))
+        prog = parse_program(
+            "T: X in Out, X = Mk_Out(R), X.rank = R"
+            " <= I in Item, R = I.rank;",
+            classes=["Item", "Out"])
+        target, stats = execute(prog, source(), target_schema)
+        assert target.class_sizes() == {"Out": 2}
+        assert stats.bindings_found == 3
+
+    def test_rerun_on_same_executor_is_idempotent(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N, X.rank = R"
+            " <= I in Item, N = I.name, R = I.rank;")
+        executor = Executor(source(), TARGET)
+        executor.run_program(prog)
+        executor.run_program(prog)  # same assertions, no conflicts
+        target = executor.freeze()
+        assert target.class_sizes() == {"Out": 3}
+
+
+class TestListsAndSets:
+    def test_list_attribute_membership(self):
+        schema = Schema.of("Src", Doc=record(tags=list_of(STR)))
+        builder = InstanceBuilder(schema)
+        builder.new("Doc", Record.of(tags=WolList.of("x", "y", "x")))
+        instance = builder.freeze()
+        matcher = Matcher(instance)
+        clause = parse_program(
+            "T: A = A <= D in Doc, A in D.tags;",
+            classes=["Doc"]).clauses[0]
+        values = [s["A"] for s in matcher.solutions(clause.body)]
+        # Lists allow duplicates: both x occurrences enumerate.
+        assert sorted(values) == ["x", "x", "y"]
+
+    def test_set_deduplicates(self):
+        schema = Schema.of("Src", Doc=record(tags=set_of(STR)))
+        builder = InstanceBuilder(schema)
+        builder.new("Doc", Record.of(tags=WolSet.of("x", "y")))
+        matcher = Matcher(builder.freeze())
+        clause = parse_program(
+            "T: A = A <= D in Doc, A in D.tags;",
+            classes=["Doc"]).clauses[0]
+        assert len(list(matcher.solutions(clause.body))) == 2
+
+
+class TestIndexes:
+    def test_index_and_scan_agree(self):
+        matcher_indexed = Matcher(source(), use_indexes=True)
+        matcher_scan = Matcher(source(), use_indexes=False)
+        clause = program(
+            "T: X = X <= I in Item, J in Item, N = I.name,"
+            " M = J.name, N = M;").clauses[0]
+        indexed = list(matcher_indexed.solutions(clause.body))
+        scanned = list(matcher_scan.solutions(clause.body))
+        assert len(indexed) == len(scanned) == 3
+
+    def test_index_covers_deep_paths(self):
+        schema = Schema.of(
+            "Src",
+            Country=record(name=STR),
+            City=record(name=STR, country=ClassType("Country")))
+        builder = InstanceBuilder(schema)
+        fr = builder.new("Country", Record.of(name="FR"))
+        de = builder.new("Country", Record.of(name="DE"))
+        builder.new("City", Record.of(name="Paris", country=fr))
+        builder.new("City", Record.of(name="Berlin", country=de))
+        matcher = Matcher(builder.freeze())
+        clause = parse_program(
+            'T: X = X <= C in City, V = C.country, N = V.name,'
+            ' N = "FR";',
+            classes=["City", "Country"]).clauses[0]
+        solutions = list(matcher.solutions(clause.body))
+        assert len(solutions) == 1
+
+    def test_prefilled_binding_uses_index(self):
+        matcher = Matcher(source())
+        clause = program(
+            "T: X = X <= I in Item, N = I.name;").clauses[0]
+        solutions = list(matcher.solutions(clause.body, {"N": "a"}))
+        assert len(solutions) == 1
+
+
+class TestFreezeEdgeCases:
+    def test_empty_program_empty_target(self):
+        executor = Executor(source(), TARGET)
+        target = executor.freeze()
+        assert target.size() == 0
+
+    def test_extra_attribute_rejected(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N, X.rank = R,"
+            " X.bogus = N <= I in Item, N = I.name, R = I.rank;")
+        with pytest.raises(ExecutionError):
+            execute(prog, source(), TARGET)
+
+    def test_identity_class_mismatch(self):
+        prog = program(
+            "T: X in Out, X = Mk_Item(N), X.name = N, X.rank = R"
+            " <= I in Item, N = I.name, R = I.rank;")
+        with pytest.raises(ExecutionError):
+            execute(prog, source(), TARGET)
+
+
+class TestProvenance:
+    def test_provenance_names_clauses(self):
+        prog = program(
+            """
+            T1: X in Out, X = Mk_Out(N), X.name = N
+                <= I in Item, N = I.name;
+            T2: X in Out, X = Mk_Out(N), X.rank = R
+                <= I in Item, N = I.name, R = I.rank;
+            """)
+        executor = Executor(source(), TARGET)
+        executor.run_program(prog)
+        provenance = executor.provenance()
+        assert provenance
+        for attrs in provenance.values():
+            assert attrs["name"] == "T1"
+            assert attrs["rank"] == "T2"
+
+    def test_explain_renders(self):
+        prog = program(
+            "T: X in Out, X = Mk_Out(N), X.name = N, X.rank = R"
+            " <= I in Item, N = I.name, R = I.rank;")
+        executor = Executor(source(), TARGET)
+        executor.run_program(prog)
+        oid = next(iter(executor.provenance()))
+        text = executor.explain(oid)
+        assert ".name from clause T" in text
+        assert ".rank from clause T" in text
+
+    def test_explain_unknown_object(self):
+        from repro.model import Oid
+        executor = Executor(source(), TARGET)
+        assert "not derived" in executor.explain(Oid.fresh("Out"))

@@ -1,0 +1,172 @@
+"""Unit tests for schema diffing and operator synthesis."""
+
+import pytest
+
+from repro.evolution import Evolution
+from repro.evolution.diff import DiffError, SchemaDiff, diff_schemas
+from repro.model import Record, WolSet, parse_schema
+from repro.model.instance import InstanceBuilder
+
+OLD = """
+schema Shop {
+  class Product = (sku: str, label: str, price: int,
+                   barcode: {str}) key sku;
+  class Vendor  = (name: str, city: str) key name;
+}
+"""
+
+NEW_RENAME = """
+schema Shop {
+  class Product = (sku: str, title: str, price: int,
+                   barcode: {str}) key sku;
+  class Vendor  = (name: str, city: str) key name;
+}
+"""
+
+NEW_REQUIRED = """
+schema Shop {
+  class Product = (sku: str, label: str, price: int,
+                   barcode: str) key sku;
+  class Vendor  = (name: str, city: str) key name;
+}
+"""
+
+NEW_MIXED = """
+schema Shop {
+  class Product = (sku: str, title: str, barcode: {str},
+                   in_stock: bool) key sku;
+  class Vendor  = (name: str, city: str) key name;
+}
+"""
+
+
+def old_schema():
+    return parse_schema(OLD)
+
+
+def shop_instance(schema):
+    builder = InstanceBuilder(schema.schema)
+    builder.new("Vendor", Record.of(name="Acme", city="Philadelphia"))
+    builder.new("Product", Record.of(
+        sku="S1", label="Widget", price=10, barcode=WolSet.of("111")))
+    builder.new("Product", Record.of(
+        sku="S2", label="Gadget", price=20, barcode=WolSet.of()))
+    return builder.freeze()
+
+
+class TestDiffDetection:
+    def test_unchanged(self):
+        diff = diff_schemas(old_schema(), old_schema())
+        assert all(d.unchanged for d in diff.shared.values())
+        assert diff.decisions_needed() == []
+
+    def test_rename_detected(self):
+        diff = diff_schemas(old_schema(), parse_schema(NEW_RENAME))
+        assert diff.shared["Product"].renamed == {"label": "title"}
+        assert not diff.shared["Product"].added
+        assert not diff.shared["Product"].dropped
+
+    def test_made_required_detected(self):
+        diff = diff_schemas(old_schema(), parse_schema(NEW_REQUIRED))
+        product = diff.shared["Product"]
+        assert "barcode" in product.made_required
+        assert any("policy" in d for d in diff.decisions_needed())
+
+    def test_mixed_changes(self):
+        diff = diff_schemas(old_schema(), parse_schema(NEW_MIXED))
+        product = diff.shared["Product"]
+        assert product.renamed == {"label": "title"}
+        assert "price" in product.dropped
+        assert "in_stock" in product.added
+        assert "Product" in diff.summary()
+
+    def test_class_addition_and_drop(self):
+        new = parse_schema("""
+            schema Shop {
+              class Product = (sku: str, label: str, price: int,
+                               barcode: {str}) key sku;
+              class Brand   = (name: str) key name;
+            }
+        """)
+        diff = diff_schemas(old_schema(), new)
+        assert diff.added_classes == ["Brand"]
+        assert diff.dropped_classes == ["Vendor"]
+
+    def test_ambiguous_rename_not_guessed(self):
+        new = parse_schema("""
+            schema Shop {
+              class Product = (sku: str, titleA: str, titleB: str,
+                               price: int, barcode: {str}) key sku;
+              class Vendor  = (name: str, city: str) key name;
+            }
+        """)
+        diff = diff_schemas(old_schema(), new)
+        product = diff.shared["Product"]
+        # label could be titleA or titleB: stay conservative.
+        assert product.renamed == {}
+        assert set(product.added) == {"titleA", "titleB"}
+        assert set(product.dropped) == {"label"}
+
+
+class TestOperatorSynthesis:
+    def test_rename_program_runs(self):
+        old = old_schema()
+        diff = diff_schemas(old, parse_schema(NEW_RENAME))
+        evolution = diff.to_evolution()
+        result = evolution.build()
+        out = result.transform(old, shop_instance(old))
+        assert out.schema.attributes("Product") == (
+            "barcode", "price", "sku", "title")
+
+    def test_required_needs_policy(self):
+        diff = diff_schemas(old_schema(), parse_schema(NEW_REQUIRED))
+        with pytest.raises(DiffError):
+            diff.to_evolution()
+
+    def test_required_with_delete_policy(self):
+        old = old_schema()
+        diff = diff_schemas(old, parse_schema(NEW_REQUIRED))
+        evolution = diff.to_evolution(
+            policies={("Product", "barcode"): "delete"})
+        out = evolution.build().transform(old, shop_instance(old))
+        assert out.class_sizes()["Product"] == 1  # S2 had no barcode
+
+    def test_required_with_default_policy(self):
+        old = old_schema()
+        diff = diff_schemas(old, parse_schema(NEW_REQUIRED))
+        evolution = diff.to_evolution(
+            policies={("Product", "barcode"): "default"},
+            defaults={("Product", "barcode"): "NO-BARCODE"})
+        out = evolution.build().transform(old, shop_instance(old))
+        assert out.class_sizes()["Product"] == 2
+        barcodes = {out.attribute(p, "barcode")
+                    for p in out.objects_of("Product")}
+        assert barcodes == {"111", "NO-BARCODE"}
+
+    def test_added_attribute_needs_default(self):
+        diff = diff_schemas(old_schema(), parse_schema(NEW_MIXED))
+        with pytest.raises(DiffError):
+            diff.to_evolution()
+
+    def test_added_attribute_with_default(self):
+        old = old_schema()
+        diff = diff_schemas(old, parse_schema(NEW_MIXED))
+        evolution = diff.to_evolution(
+            defaults={("Product", "in_stock"): True})
+        out = evolution.build().transform(old, shop_instance(old))
+        stocked = {out.attribute(p, "in_stock")
+                   for p in out.objects_of("Product")}
+        assert stocked == {True}
+
+    def test_new_classes_rejected(self):
+        new = parse_schema("""
+            schema Shop {
+              class Product = (sku: str, label: str, price: int,
+                               barcode: {str}) key sku;
+              class Vendor  = (name: str, city: str) key name;
+              class Brand   = (name: str) key name;
+            }
+        """)
+        diff = diff_schemas(old_schema(), new)
+        with pytest.raises(DiffError):
+            diff.to_evolution()

@@ -1,0 +1,75 @@
+"""Unit tests for the WOL tokenizer."""
+
+import pytest
+
+from repro.lang.lexer import (EOF, IDENT, NUMBER, STRING, SYMBOL, LexError,
+                              tokenize)
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != EOF]
+
+
+class TestTokenize:
+    def test_identifiers_and_keywords(self):
+        assert kinds("X in CityA") == [
+            (IDENT, "X"), (IDENT, "in"), (IDENT, "CityA")]
+
+    def test_symbols_longest_match(self):
+        assert kinds("<= =< >= != <>") == [
+            (SYMBOL, "<="), (SYMBOL, "=<"), (SYMBOL, ">="),
+            (SYMBOL, "!="), (SYMBOL, "<>")]
+
+    def test_implication_vs_leq(self):
+        # 'X <= Y' is implication syntax; 'X =< Y' is less-or-equal.
+        assert kinds("X <= Y") == [
+            (IDENT, "X"), (SYMBOL, "<="), (IDENT, "Y")]
+        assert kinds("X =< Y") == [
+            (IDENT, "X"), (SYMBOL, "=<"), (IDENT, "Y")]
+
+    def test_numbers(self):
+        assert kinds("42 -7 3.25 -0.5") == [
+            (NUMBER, "42"), (NUMBER, "-7"), (NUMBER, "3.25"),
+            (NUMBER, "-0.5")]
+
+    def test_dot_is_projection_not_decimal(self):
+        assert kinds("X.name") == [
+            (IDENT, "X"), (SYMBOL, "."), (IDENT, "name")]
+
+    def test_number_then_projection(self):
+        # '1.name' lexes the digit then dot: parser will reject; but
+        # '1.5.foo' gives number 1.5 then '.foo'.
+        assert kinds("1.5.foo") == [
+            (NUMBER, "1.5"), (SYMBOL, "."), (IDENT, "foo")]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'"ab\"c" "d\\e"')
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            (STRING, 'ab"c'), (STRING, "d\\e")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_comments_stripped(self):
+        assert kinds("X -- comment\nY # another\nZ") == [
+            (IDENT, "X"), (IDENT, "Y"), (IDENT, "Z")]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("X\n  Y")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("X @ Y")
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == EOF
+        assert tokenize("X")[-1].kind == EOF
+
+    def test_underscore_identifiers(self):
+        assert kinds("ins_euro_city Mk_CityT _x") == [
+            (IDENT, "ins_euro_city"), (IDENT, "Mk_CityT"), (IDENT, "_x")]

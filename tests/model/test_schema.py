@@ -1,0 +1,149 @@
+"""Unit tests for schemas and the textual schema language."""
+
+import pytest
+
+from repro.model import (INT, STR, ClassType, KeyedSchema, Schema,
+                         SchemaError, merge_schemas, parse_schema, record,
+                         set_of, variant, UNIT)
+
+
+def us_schema() -> Schema:
+    return Schema.of(
+        "US",
+        CityA=record(name=STR, state=ClassType("StateA")),
+        StateA=record(name=STR, capital=ClassType("CityA")))
+
+
+class TestSchema:
+    def test_class_names_sorted(self):
+        assert us_schema().class_names() == ("CityA", "StateA")
+
+    def test_class_type_lookup(self):
+        schema = us_schema()
+        assert schema.class_type("CityA") == record(
+            name=STR, state=ClassType("StateA"))
+        with pytest.raises(SchemaError):
+            schema.class_type("CityB")
+
+    def test_attribute_type(self):
+        schema = us_schema()
+        assert schema.attribute_type("CityA", "name") == STR
+        assert schema.attribute_type("CityA", "state") == ClassType("StateA")
+        with pytest.raises(SchemaError):
+            schema.attribute_type("CityA", "mayor")
+
+    def test_attributes_listing(self):
+        assert us_schema().attributes("CityA") == ("name", "state")
+
+    def test_references(self):
+        schema = us_schema()
+        assert schema.references("CityA") == ("StateA",)
+        assert schema.references("StateA") == ("CityA",)
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("Bad", CityA=record(state=ClassType("StateB")))
+
+    def test_class_type_may_not_be_class(self):
+        with pytest.raises(SchemaError):
+            Schema.of("Bad", A=ClassType("A"))
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("Bad", (("A", record(x=INT)), ("A", record(y=INT))))
+
+    def test_non_record_class_types_allowed(self):
+        schema = Schema.of("S", Tags=set_of(STR))
+        assert schema.attributes("Tags") == ()
+
+    def test_str_rendering_parses_back(self):
+        schema = us_schema()
+        reparsed = parse_schema(str(schema))
+        assert isinstance(reparsed, Schema)
+        assert reparsed.classes == schema.classes
+
+
+class TestMergeSchemas:
+    def test_merge_disjoint(self):
+        euro = Schema.of(
+            "Euro",
+            CityE=record(name=STR, is_capital=ClassType("CountryE")),
+            CountryE=record(name=STR))
+        merged = merge_schemas("Both", [us_schema(), euro])
+        assert merged.class_names() == (
+            "CityA", "CityE", "CountryE", "StateA")
+
+    def test_merge_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            merge_schemas("Both", [us_schema(), us_schema()])
+
+
+class TestParseSchema:
+    def test_plain_schema(self):
+        schema = parse_schema("""
+            schema US {
+              class CityA  = (name: str, state: StateA);
+              class StateA = (name: str, capital: CityA);
+            }
+        """)
+        assert isinstance(schema, Schema)
+        assert schema.name == "US"
+        assert schema.class_type("CityA") == record(
+            name=STR, state=ClassType("StateA"))
+
+    def test_keyed_schema(self):
+        keyed = parse_schema("""
+            schema Euro {
+              class CityE = (name: str, is_capital: bool,
+                             country: CountryE) key name, country.name;
+              class CountryE = (name: str, language: str,
+                                currency: str) key name;
+            }
+        """)
+        assert isinstance(keyed, KeyedSchema)
+        assert keyed.keys.has_key("CityE")
+        assert keyed.keys.has_key("CountryE")
+
+    def test_variant_attribute(self):
+        schema = parse_schema("""
+            schema Target {
+              class CityT = (name: str,
+                             place: <<euro_city: CountryT, us_city: StateT>>);
+              class CountryT = (name: str, language: str, currency: str,
+                                capital: CityT);
+              class StateT = (name: str, capital: CityT);
+            }
+        """)
+        place = schema.attribute_type("CityT", "place")
+        assert place == variant(euro_city=ClassType("CountryT"),
+                                us_city=ClassType("StateT"))
+
+    def test_comments_stripped(self):
+        schema = parse_schema("""
+            schema S {            -- a schema
+              class A = (x: int); # trailing comment
+            }
+        """)
+        assert schema.class_names() == ("A",)
+
+    def test_unit_variants(self):
+        schema = parse_schema("""
+            schema People {
+              class Person = (name: str,
+                              sex: <<male: unit, female: unit>>,
+                              spouse: Person);
+            }
+        """)
+        assert schema.attribute_type("Person", "sex") == variant(
+            male=UNIT, female=UNIT)
+
+    @pytest.mark.parametrize("bad", [
+        "not a schema",
+        "schema S { class A = ; }",
+        "schema S { class A (x: int); }",
+        "schema S { class A = (x: int)",
+        "schema S { class A = (x: int) key ; }",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(Exception):
+            parse_schema(bad)

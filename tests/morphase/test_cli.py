@@ -1,0 +1,123 @@
+"""Unit tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_instance, load_instance
+from repro.model import Record
+from repro.workloads import cities
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    (tmp_path / "us.schema").write_text(cities.US_SCHEMA_TEXT)
+    (tmp_path / "euro.schema").write_text(cities.EURO_SCHEMA_TEXT)
+    (tmp_path / "target.schema").write_text(cities.TARGET_SCHEMA_TEXT)
+    (tmp_path / "program.wol").write_text(cities.PROGRAM_TEXT)
+    dump_instance(cities.sample_us_instance(), str(tmp_path / "us.json"))
+    dump_instance(cities.sample_euro_instance(),
+                  str(tmp_path / "euro.json"))
+    return tmp_path
+
+
+def run(workspace, *argv):
+    return main([str(a).replace("$W", str(workspace)) for a in argv])
+
+
+class TestCompile:
+    def test_compile_succeeds(self, workspace, capsys):
+        code = run(workspace, "compile",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transformation T1+T3" in out
+        assert "-- output: 4 clauses" in out
+
+    def test_compile_reports_uncovered(self, workspace, capsys):
+        (workspace / "partial.wol").write_text("""
+            constraint C3: Y = Mk_CountryT(N) <= Y in CountryT,
+                                                 N = Y.name;
+            transformation T1:
+              X in CountryT, X.name = E.name <= E in CountryE;
+        """)
+        code = run(workspace, "compile",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/partial.wol")
+        assert code == 1
+        assert "uncovered" in capsys.readouterr().out
+
+    def test_bad_program_reports_error(self, workspace, capsys):
+        (workspace / "bad.wol").write_text("this is not WOL;")
+        code = run(workspace, "compile",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/bad.wol")
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTransform:
+    def test_transform_writes_target(self, workspace, capsys):
+        code = run(workspace, "transform",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--out", "$W/out.json", "--audit")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CityT=12" in out
+        assert "audit: all clauses satisfied" in out
+        target = load_instance(str(workspace / "out.json"))
+        assert target.class_sizes() == {
+            "CityT": 12, "CountryT": 3, "StateT": 2}
+
+    def test_cpl_backend(self, workspace, capsys):
+        code = run(workspace, "transform",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--out", "$W/out_cpl.json", "--backend", "cpl")
+        assert code == 0
+        direct = load_instance(str(workspace / "out_cpl.json"))
+        assert direct.class_sizes()["CityT"] == 12
+
+    def test_check_source_rejects_bad_instance(self, workspace, capsys):
+        builder = cities.sample_euro_instance().builder()
+        builder.new("CountryE", Record.of(
+            name="Utopia", language="?", currency="?"))
+        dump_instance(builder.freeze(), str(workspace / "bad_euro.json"))
+        code = run(workspace, "transform",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/bad_euro.json",
+                   "--out", "$W/out.json", "--check-source")
+        assert code == 2
+        assert "source constraints" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_satisfied_constraints(self, workspace, capsys):
+        (workspace / "constraints.wol").write_text(
+            "C4: Y in CityE, Y.country = X, Y.is_capital = true"
+            " <= X in CountryE;")
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/euro.json")
+        assert code == 0
+        assert "satisfied" in capsys.readouterr().out
+
+    def test_violations_reported(self, workspace, capsys):
+        builder = cities.sample_euro_instance().builder()
+        builder.new("CountryE", Record.of(
+            name="Utopia", language="?", currency="?"))
+        dump_instance(builder.freeze(), str(workspace / "bad.json"))
+        (workspace / "constraints.wol").write_text(
+            "C4: Y in CityE, Y.country = X, Y.is_capital = true"
+            " <= X in CountryE;")
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/bad.json")
+        assert code == 1
+        assert "violation" in capsys.readouterr().out

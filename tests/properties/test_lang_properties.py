@@ -1,0 +1,78 @@
+"""Property-based tests for the language layer."""
+
+from hypothesis import given, settings
+
+from repro.lang import parse_atom, parse_clause, parse_term
+from repro.lang.ast import InAtom, MemberAtom, Var
+from repro.lang.pretty import format_clause
+
+from .strategies import atoms, clauses, terms
+
+CLASSES = ["CityE", "CountryE", "CityT", "CountryT"]
+
+
+def _normalise_memberships(atom):
+    """Parsing maps ``X in V`` (bare var) to a MemberAtom; mirror that."""
+    if isinstance(atom, InAtom) and isinstance(atom.collection, Var):
+        if atom.collection.name in CLASSES:
+            return MemberAtom(atom.element, atom.collection.name)
+        return atom
+    return atom
+
+
+class TestParserRoundtrips:
+    @given(terms())
+    @settings(max_examples=200)
+    def test_term_roundtrip(self, term):
+        assert parse_term(str(term)) == term
+
+    @given(atoms())
+    @settings(max_examples=200)
+    def test_atom_roundtrip(self, atom):
+        expected = _normalise_memberships(atom)
+        assert parse_atom(str(atom), classes=CLASSES) == expected
+
+    @given(clauses())
+    @settings(max_examples=100)
+    def test_clause_roundtrip(self, clause):
+        expected_head = tuple(_normalise_memberships(a)
+                              for a in clause.head)
+        expected_body = tuple(_normalise_memberships(a)
+                              for a in clause.body)
+        reparsed = parse_clause(str(clause), classes=CLASSES)
+        assert reparsed.head == expected_head
+        assert reparsed.body == expected_body
+
+    @given(clauses())
+    @settings(max_examples=100)
+    def test_pretty_format_roundtrip(self, clause):
+        reparsed = parse_clause(format_clause(clause), classes=CLASSES)
+        expected_head = tuple(_normalise_memberships(a)
+                              for a in clause.head)
+        expected_body = tuple(_normalise_memberships(a)
+                              for a in clause.body)
+        assert reparsed.head == expected_head
+        assert reparsed.body == expected_body
+
+
+class TestSubstitutionProperties:
+    @given(clauses())
+    @settings(max_examples=100)
+    def test_rename_apart_preserves_shape(self, clause):
+        renamed = clause.rename_apart(clause.variables())
+        assert len(renamed.head) == len(clause.head)
+        assert len(renamed.body) == len(clause.body)
+        assert len(renamed.variables()) == len(clause.variables())
+
+    @given(clauses())
+    @settings(max_examples=100)
+    def test_identity_substitution(self, clause):
+        assert clause.substitute({}) == clause
+
+    @given(terms())
+    @settings(max_examples=200)
+    def test_variables_of_substituted_term(self, term):
+        renamed = term.rename({name: name + "_r"
+                               for name in term.variables()})
+        assert renamed.variables() == frozenset(
+            name + "_r" for name in term.variables())

@@ -1,0 +1,116 @@
+"""Unit tests for the query layer."""
+
+import pytest
+
+from repro.query import Query, QueryError, query
+from repro.workloads import cities, persons
+
+
+@pytest.fixture(scope="module")
+def euro():
+    return cities.sample_euro_instance()
+
+
+CLASSES = cities.euro_schema().schema.class_names()
+
+
+class TestParse:
+    def test_projection_and_body(self):
+        q = Query.parse("N | X in CityE, N = X.name", classes=CLASSES)
+        assert q.projection == ("N",)
+        assert len(q.body) == 2
+
+    def test_star_means_all(self):
+        q = Query.parse("* | X in CityE, N = X.name", classes=CLASSES)
+        assert q.projection == ()
+        assert set(q.variables()) == {"X", "N"}
+
+    def test_no_projection_defaults_to_all(self):
+        q = Query.parse("X in CityE", classes=CLASSES)
+        assert q.projection == ()
+
+    def test_trailing_semicolon_tolerated(self):
+        q = Query.parse("N | X in CityE, N = X.name;", classes=CLASSES)
+        assert q.projection == ("N",)
+
+    def test_unknown_projection_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("Z | X in CityE", classes=CLASSES)
+
+    def test_unsafe_body_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("N | X in CityE, X.name < N", classes=CLASSES)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("N | ", classes=CLASSES)
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(QueryError):
+            Query.parse("N | X in in CityE", classes=CLASSES)
+
+
+class TestRun:
+    def test_filter_and_project(self, euro):
+        rows = query(euro,
+                     "N | X in CityE, X.is_capital = true, N = X.name")
+        assert sorted(r["N"] for r in rows) == [
+            "Berlin", "London", "Paris"]
+
+    def test_join_through_reference(self, euro):
+        rows = query(
+            euro,
+            'N | X in CityE, X.country.name = "France", N = X.name')
+        assert sorted(r["N"] for r in rows) == ["Lyon", "Paris"]
+
+    def test_count_and_exists(self, euro):
+        q = Query.parse("X in CityE", classes=CLASSES)
+        assert q.count(euro) == 7
+        assert q.exists(euro)
+        empty = Query.parse('X in CityE, X.name = "Gotham"',
+                            classes=CLASSES)
+        assert not empty.exists(euro)
+        assert empty.count(euro) == 0
+
+    def test_distinct(self, euro):
+        q = Query.parse("L | C in CountryE, L = C.language",
+                        classes=CLASSES)
+        assert len(q.rows(euro)) == 3
+        assert len(q.distinct(euro)) == 3
+        # Same language twice after adding a country.
+        builder = euro.builder()
+        from repro.model import Record
+        builder.new("CountryE", Record.of(
+            name="Austria", language="German", currency="schilling"))
+        extended = builder.freeze()
+        assert len(q.rows(extended)) == 4
+        assert len(q.distinct(extended)) == 3
+
+    def test_cross_class_join(self, euro):
+        rows = query(
+            euro,
+            "CN | X in CityE, C in CountryE, X.country = C,"
+            " X.is_capital = true, CN = C.name")
+        assert len(rows) == 3
+
+    def test_variant_patterns(self):
+        source = persons.sample_instance()
+        rows = query(source,
+                     "N | P in Person, P.sex = ins_male(), N = P.name")
+        assert sorted(r["N"] for r in rows) == ["Adam", "Carl", "Evan"]
+
+    def test_table_rendering(self, euro):
+        q = Query.parse("N, L | C in CountryE, N = C.name,"
+                        " L = C.language", classes=CLASSES)
+        text = q.table(euro)
+        assert "France" in text
+        assert text.splitlines()[0].startswith("N")
+
+    def test_table_limit(self, euro):
+        q = Query.parse("N | X in CityE, N = X.name", classes=CLASSES)
+        text = q.table(euro, limit=2)
+        assert "..." in text
+
+    def test_rows_are_projected(self, euro):
+        rows = query(euro, "N | X in CityE, N = X.name")
+        assert all(set(row) == {"N"} for row in rows)

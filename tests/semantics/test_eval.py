@@ -1,0 +1,96 @@
+"""Unit tests for term evaluation."""
+
+import pytest
+
+from repro.lang import parse_term
+from repro.model import Oid, Record, Variant
+from repro.semantics import EvalError, evaluate, skolem_key
+from repro.workloads.cities import sample_euro_instance
+
+
+@pytest.fixture()
+def euro():
+    return sample_euro_instance()
+
+
+def city(instance, name):
+    return next(o for o in instance.objects_of("CityE")
+                if instance.attribute(o, "name") == name)
+
+
+class TestEvaluate:
+    def test_variable(self, euro):
+        assert evaluate(parse_term("X"), {"X": 1}) == 1
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError):
+            evaluate(parse_term("X"), {})
+
+    def test_constants(self):
+        assert evaluate(parse_term("42"), {}) == 42
+        assert evaluate(parse_term('"x"'), {}) == "x"
+        assert evaluate(parse_term("true"), {}) is True
+
+    def test_projection_dereferences_oids(self, euro):
+        london = city(euro, "London")
+        value = evaluate(parse_term("X.country.name"), {"X": london}, euro)
+        assert value == "United Kingdom"
+
+    def test_projection_of_plain_record(self):
+        rec = Record.of(a=1)
+        assert evaluate(parse_term("X.a"), {"X": rec}) == 1
+
+    def test_projection_without_instance_fails_on_oid(self, euro):
+        london = city(euro, "London")
+        with pytest.raises(EvalError):
+            evaluate(parse_term("X.name"), {"X": london}, None)
+
+    def test_missing_attribute(self, euro):
+        london = city(euro, "London")
+        with pytest.raises(EvalError):
+            evaluate(parse_term("X.mayor"), {"X": london}, euro)
+
+    def test_variant_term(self):
+        value = evaluate(parse_term("ins_euro_city(X)"), {"X": 7})
+        assert value == Variant("euro_city", 7)
+
+    def test_unit_variant(self):
+        value = evaluate(parse_term("ins_male()"), {})
+        assert value == Variant("male")
+
+    def test_record_term(self):
+        value = evaluate(parse_term("(a = X, b = 2)"), {"X": 1})
+        assert value == Record.of(a=1, b=2)
+
+    def test_skolem_single_positional(self):
+        oid = evaluate(parse_term("Mk_CountryT(N)"), {"N": "France"})
+        assert oid == Oid.keyed("CountryT", "France")
+
+    def test_skolem_named(self):
+        oid = evaluate(parse_term("Mk_CityT(name = N, cn = C)"),
+                       {"N": "Paris", "C": "France"})
+        assert oid == Oid.keyed(
+            "CityT", Record.of(name="Paris", cn="France"))
+
+    def test_skolem_injective(self):
+        first = evaluate(parse_term("Mk_C(N)"), {"N": "a"})
+        second = evaluate(parse_term("Mk_C(N)"), {"N": "b"})
+        third = evaluate(parse_term("Mk_C(N)"), {"N": "a"})
+        assert first != second
+        assert first == third
+
+    def test_skolem_multi_positional(self):
+        oid = evaluate(parse_term("Mk_C(X, Y)"), {"X": 1, "Y": 2})
+        assert oid == Oid.keyed("C", Record.of(arg0=1, arg1=2))
+
+
+class TestSkolemKey:
+    def test_empty(self):
+        assert skolem_key("C", ()) == Record(())
+
+    def test_single_positional_is_raw(self):
+        assert skolem_key("C", ((None, "x"),)) == "x"
+
+    def test_named_packs_record(self):
+        key = skolem_key("C", (("a", 1), ("b", 2)))
+        assert key == Record.of(a=1, b=2)
