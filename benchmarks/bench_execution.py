@@ -4,6 +4,12 @@ The paper's design goal: "an implementation of a transformation should be
 performed in one pass over the source databases".  Normal-form execution
 touches each qualifying source combination once, so time grows linearly
 with the source instance.
+
+Since the planner landed, ``Morphase.transform`` runs the planned path by
+default (fixed atom orders, shared prebuilt index pool); the series here
+therefore measure planned execution, and ``test_planner_on_vs_off``
+records the head-to-head against the naive path at one size (the full
+planner story is in ``bench_planner.py``).
 """
 
 import pytest
@@ -67,9 +73,31 @@ def test_execution_statistics(morphase, benchmark):
     stats = result.stats
     sizes = result.target.class_sizes()
     print_table("E5: executor statistics (25 countries)",
-                ("clauses", "bindings", "objects", "attr writes"),
-                [(stats.clauses_run, stats.bindings_found,
-                  stats.objects_created, stats.attributes_set)])
+                ("clauses", "planned", "bindings", "objects",
+                 "attr writes", "scans avoided"),
+                [(stats.clauses_run, stats.clauses_planned,
+                  stats.bindings_found, stats.objects_created,
+                  stats.attributes_set, stats.scans_avoided)])
     # Every created object is reachable from some binding (one-pass).
     assert stats.objects_created == sum(sizes.values())
     assert stats.bindings_found >= stats.objects_created
+    # The planned path covered every clause.
+    assert stats.clauses_planned == stats.clauses_run
+
+
+def test_planner_on_vs_off(morphase, benchmark):
+    """Head-to-head at one size; identical targets either way."""
+    sources = _sources(60)
+    naive, naive_time = best_of(
+        lambda: morphase.transform(sources, use_planner=False),
+        repetitions=2)
+    planned, planned_time = best_of(
+        lambda: morphase.transform(sources, use_planner=True),
+        repetitions=2)
+    assert planned.target.valuations == naive.target.valuations
+    print_table("E5: planner on vs off (60 countries)",
+                ("path", "ms"),
+                [("naive", round(naive_time * 1000, 1)),
+                 ("planned", round(planned_time * 1000, 1))])
+    benchmark.extra_info["speedup"] = round(naive_time / planned_time, 2)
+    benchmark(lambda: morphase.transform(sources, use_planner=True))

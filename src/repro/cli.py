@@ -20,9 +20,16 @@ Subcommands::
                              --data euro.json
         Audit constraint clauses against an instance.
 
+    python -m repro plan     --source us.schema --target target.schema \\
+                             program.wol --data us.json
+        Print the execution plan (per-clause join orders, shared
+        indexes) the planner would use for these instances.
+
 Schema files use the textual schema language; ``program.wol`` is WOL
 concrete syntax; instances are the JSON interchange format of
-:mod:`repro.io`.
+:mod:`repro.io`.  ``transform`` runs the planned execution path by
+default; ``--no-planner`` forces the naive per-clause path and
+``--stats`` prints the executor/planner counters.
 """
 
 from __future__ import annotations
@@ -80,11 +87,25 @@ def _cmd_transform(args) -> int:
     instances = [load_instance(path) for path in args.data]
     result = morphase.transform(
         instances, backend=args.backend,
-        check_source_constraints=args.check_source)
+        check_source_constraints=args.check_source,
+        use_planner=not args.no_planner)
     dump_instance(result.target, args.out)
     sizes = ", ".join(f"{cname}={count}" for cname, count in
                       sorted(result.target.class_sizes().items()))
     print(f"wrote {args.out}: {sizes}")
+    if args.stats:
+        stats = result.stats
+        # Indexes prebuilt by the planner are counted on the plan; the
+        # stats delta covers only lazy in-run builds.
+        prebuilt = result.plan.prebuilt_indexes if result.plan else 0
+        print(f"stats: {stats.clauses_run} clauses "
+              f"({stats.clauses_planned} planned, "
+              f"{stats.atoms_reordered} atoms reordered), "
+              f"{stats.bindings_found} bindings, "
+              f"{prebuilt + stats.indexes_built} indexes built, "
+              f"{stats.scans_avoided} scans avoided "
+              f"({stats.index_hits} hits / {stats.index_misses} misses), "
+              f"{stats.elapsed_seconds * 1000:.1f} ms")
     if args.audit:
         violations = morphase.audit(instances, result.target)
         if violations:
@@ -118,6 +139,14 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    morphase = _build_morphase(args)
+    instances = [load_instance(path) for path in args.data]
+    plan = morphase.plan(instances)
+    print(plan.explain())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,8 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="run a transformation")
     check_p = sub.add_parser("check",
                              help="audit constraints against an instance")
+    plan_p = sub.add_parser("plan",
+                            help="print the execution plan for a program "
+                                 "over instances")
 
-    for p in (compile_p, transform_p):
+    for p in (compile_p, transform_p, plan_p):
         p.add_argument("--source", action="append", required=True,
                        help="source schema file (repeatable)")
         p.add_argument("--target", required=True,
@@ -152,12 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="validate source constraints first")
     transform_p.add_argument("--audit", action="store_true",
                              help="audit the result against the program")
+    transform_p.add_argument("--no-planner", action="store_true",
+                             help="disable the execution planner (naive "
+                                  "per-clause path)")
+    transform_p.add_argument("--stats", action="store_true",
+                             help="print executor/planner statistics")
     check_p.add_argument("--data", action="append", required=True,
                          help="instance JSON (repeatable)")
+    plan_p.add_argument("--data", action="append", required=True,
+                        help="source instance JSON (repeatable)")
 
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)
     check_p.set_defaults(func=_cmd_check)
+    plan_p.set_defaults(func=_cmd_plan)
     return parser
 
 

@@ -1,5 +1,14 @@
-"""One-pass execution of normal-form WOL programs."""
+"""One-pass execution of normal-form WOL programs.
 
-from .executor import (ExecutionError, ExecutionStats, Executor, execute)
+``executor`` applies clause heads and assembles the target instance;
+``planner`` computes per-clause join plans (fixed atom orders) and the
+shared index pool that the planned execution path runs on.
+"""
 
-__all__ = ["ExecutionError", "ExecutionStats", "Executor", "execute"]
+from .executor import ExecutionError, ExecutionStats, Executor, execute
+from .planner import (JoinPlan, PlanError, ProgramPlan, plan_clause,
+                      plan_program)
+
+__all__ = ["ExecutionError", "ExecutionStats", "Executor", "execute",
+           "JoinPlan", "PlanError", "ProgramPlan", "plan_clause",
+           "plan_program"]

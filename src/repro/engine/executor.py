@@ -14,6 +14,17 @@ describes a target insert.  The executor:
    (an object missing required attributes — the program is not complete,
    Section 3.2).
 
+Two body-evaluation paths exist.  The **planned** path
+(:meth:`Executor.run_program` with ``use_planner``, the production
+default through :class:`repro.morphase.system.Morphase`) plans the whole
+program once via :mod:`repro.engine.planner`: per clause a fixed atom
+order compiled into plan steps, and across clauses one shared, prebuilt
+index pool — no per-binding atom re-classification, no per-matcher lazy
+index builds.  The **naive** path runs each clause through the dynamic
+matcher independently; it is kept both as the fallback for clauses the
+planner cannot order statically and as the oracle in differential tests
+(planned and naive execution must produce identical target instances).
+
 The executor is deliberately independent of the normaliser: any program
 whose clause bodies mention only source classes can be run, which is what
 lets tests compare direct execution against the WOL->CPL->interpreter path.
@@ -32,7 +43,8 @@ from ..model.schema import Schema
 from ..model.types import RecordType, SetType
 from ..model.values import Oid, Record, Value, WolSet, format_value
 from ..semantics.eval import Binding, EvalError, evaluate
-from ..semantics.match import Matcher
+from ..semantics.match import IndexPool, Matcher
+from .planner import JoinPlan, ProgramPlan, plan_program
 
 
 class ExecutionError(Exception):
@@ -41,13 +53,29 @@ class ExecutionError(Exception):
 
 @dataclass
 class ExecutionStats:
-    """Counters for one execution run (benchmark E5 reads these)."""
+    """Counters for one execution run (benchmark E5 reads these).
+
+    The planner-related counters describe how the bodies were evaluated:
+    ``clauses_planned`` clauses ran on a precompiled :class:`JoinPlan`
+    (the rest fell back to the dynamic matcher), ``atoms_reordered`` body
+    atoms were moved from their textual position, and the index counters
+    mirror the shared :class:`~repro.semantics.match.IndexPool` —
+    ``scans_avoided`` is the number of extent scans replaced by hash
+    probes, split into ``index_hits`` (probe produced candidates) and
+    ``index_misses`` (probe proved no candidate exists).
+    """
 
     clauses_run: int = 0
     bindings_found: int = 0
     objects_created: int = 0
     attributes_set: int = 0
     elapsed_seconds: float = 0.0
+    clauses_planned: int = 0
+    atoms_reordered: int = 0
+    indexes_built: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    scans_avoided: int = 0
 
 
 @dataclass
@@ -60,31 +88,95 @@ class _PendingObject:
 
 
 class Executor:
-    """Runs source-only clauses against a source instance."""
+    """Runs source-only clauses against a source instance.
 
-    def __init__(self, source: Instance, target_schema: Schema) -> None:
+    ``use_planner`` selects the planned path for :meth:`run_program`:
+    the program is planned once (fixed atom orders, shared prebuilt
+    index pool) and every plannable clause streams bindings from its
+    precompiled steps.  ``index_pool`` injects a pool shared beyond this
+    executor (e.g. across repeated runs over the same source).
+    """
+
+    def __init__(self, source: Instance, target_schema: Schema,
+                 use_planner: bool = False,
+                 index_pool: Optional[IndexPool] = None) -> None:
         self.source = source
         self.target_schema = target_schema
-        self._matcher = Matcher(source)
+        self.use_planner = use_planner
+        self._matcher = Matcher(source, index_pool=index_pool)
         self._pending: Dict[Oid, _PendingObject] = {}
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------
-    def run_program(self, program: Iterable[Clause]) -> "Executor":
+    def run_program(self, program: Iterable[Clause],
+                    plan: Optional[ProgramPlan] = None) -> "Executor":
+        """Execute a whole program, planning it once when enabled.
+
+        ``plan`` supplies a precomputed :class:`ProgramPlan` (its pool
+        replaces the matcher's); otherwise one is computed here when the
+        executor was built with ``use_planner``.  Clauses without a join
+        plan fall back to the dynamic per-clause path.
+        """
         start = time.perf_counter()
-        for clause in program:
-            self.run_clause(clause)
+        clauses = list(program)
+        baseline = self._pool_snapshot()
+        if plan is None and self.use_planner:
+            # Planning here is part of this run: its prebuilds count.
+            plan = plan_program(clauses, self.source,
+                                pool=self._matcher.pool)
+        if plan is not None and plan.pool is not self._matcher.pool:
+            # An externally planned pool may be shared across runs; only
+            # activity from this point on belongs to this run's stats.
+            self._matcher.pool = plan.pool
+            baseline = self._pool_snapshot()
+        for clause in clauses:
+            self.run_clause(clause,
+                            plan.plan_for(clause) if plan else None)
+        self._sync_index_stats(baseline)
         self.stats.elapsed_seconds += time.perf_counter() - start
         return self
 
-    def run_clause(self, clause: Clause) -> None:
-        """Execute one normal-form clause."""
+    def run_clause(self, clause: Clause,
+                   join_plan: Optional[JoinPlan] = None) -> None:
+        """Execute one normal-form clause.
+
+        Without ``join_plan`` this is the naive path: the dynamic matcher
+        re-derives the atom order per binding (kept as the differential
+        oracle).  With a plan, bindings stream from the precompiled steps.
+        """
         self._check_source_only(clause)
         plan = _HeadPlan(clause, self.target_schema)
         self.stats.clauses_run += 1
-        for binding in self._matcher.solutions(clause.body):
+        if join_plan is not None:
+            self.stats.clauses_planned += 1
+            self.stats.atoms_reordered += join_plan.atoms_reordered
+            bindings = self._matcher.run_plan(join_plan.steps)
+        else:
+            bindings = self._matcher.solutions(clause.body)
+        for binding in bindings:
             self.stats.bindings_found += 1
             self._apply_head(plan, binding, clause)
+
+    def _pool_snapshot(self) -> Tuple[int, int, int, int]:
+        pool = self._matcher.pool
+        return (pool.builds, pool.hits, pool.misses, pool.lookups)
+
+    def _sync_index_stats(self, baseline: Tuple[int, int, int, int]
+                          ) -> None:
+        """Add this run's pool activity to the stats.
+
+        The pool may be shared across executors (injected pool, reused
+        plan), so the stats record the *delta* over this run, not the
+        pool's lifetime counters.  Indexes prebuilt by the planner before
+        the run belong to planning and are visible on the plan's pool,
+        not here.
+        """
+        builds, hits, misses, lookups = baseline
+        pool = self._matcher.pool
+        self.stats.indexes_built += pool.builds - builds
+        self.stats.index_hits += pool.hits - hits
+        self.stats.index_misses += pool.misses - misses
+        self.stats.scans_avoided += pool.lookups - lookups
 
     def _check_source_only(self, clause: Clause) -> None:
         source_classes = set(self.source.schema.class_names())
@@ -393,10 +485,16 @@ def _order_identities(identities: Dict[str, SkolemTerm],
 
 def execute(program: Program, source: Instance,
             target_schema: Schema, validate: bool = True,
-            defaults: Optional[Mapping[Tuple[str, str], Value]] = None
+            defaults: Optional[Mapping[Tuple[str, str], Value]] = None,
+            use_planner: bool = False,
+            plan: Optional[ProgramPlan] = None
             ) -> Tuple[Instance, ExecutionStats]:
-    """Run a normal-form program and return (target instance, stats)."""
-    executor = Executor(source, target_schema)
-    executor.run_program(program)
+    """Run a normal-form program and return (target instance, stats).
+
+    ``use_planner`` (or an explicit precomputed ``plan``) switches body
+    evaluation to the planned path; the result is identical either way.
+    """
+    executor = Executor(source, target_schema, use_planner=use_planner)
+    executor.run_program(program, plan=plan)
     return (executor.freeze(validate=validate, defaults=defaults),
             executor.stats)

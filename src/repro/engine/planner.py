@@ -1,0 +1,374 @@
+"""Program-level join planning for normal-form execution.
+
+The dynamic matcher (:class:`repro.semantics.match.Matcher`) re-derives an
+atom order for every partial binding and rediscovers index selectors per
+candidate enumeration; each :class:`~repro.engine.executor.Executor` also
+builds its hash indexes lazily and privately.  For multi-clause programs
+(the genome and Relibase workloads) that cost is paid over and over.
+
+This module plans a whole :class:`~repro.lang.ast.Program` once:
+
+* per clause, a :class:`JoinPlan` — a fixed atom order computed statically
+  by simulating variable boundness (tests first, deterministic binds next,
+  generators last, cheapest generator first by class cardinality, indexed
+  generators preferred), compiled into
+  :class:`~repro.semantics.match.PlanStep` records the matcher executes
+  without any per-binding re-analysis;
+* across clauses, one shared :class:`~repro.semantics.match.IndexPool`
+  whose indexes are prebuilt from the union of every clause's selectors,
+  so an index over e.g. ``(SequenceT, name)`` used by three clauses is
+  built exactly once.
+
+Planning is purely static: it reads only clause syntax plus class
+cardinalities of the source instance, so a plan is deterministic for a
+given (program, instance-size) pair and ``explain()`` output is stable.
+The planned and naive paths enumerate identical solution sets — the
+differential tests in ``tests/engine/test_planner.py`` and
+``benchmarks/bench_planner.py`` hold the planner to that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
+                        MemberAtom, NeqAtom, Program, Term, Var)
+from ..model.instance import Instance
+from ..normalization.optimize import constant_bindings, definition_chains
+from ..semantics.match import (IndexPool, PlanStep, STEP_COMPARE,
+                               STEP_EQ_BIND, STEP_EQ_TEST, STEP_IN_GENERATE,
+                               STEP_IN_TEST, STEP_MEMBER_INDEX,
+                               STEP_MEMBER_SCAN, STEP_MEMBER_TEST,
+                               _is_pattern)
+
+#: Assumed cardinality of a collection-valued generator (``X in Q.tags``)
+#: and of a class whose extent size is unknown at planning time.
+DEFAULT_COLLECTION_CARDINALITY = 8.0
+DEFAULT_CLASS_CARDINALITY = 64.0
+#: Assumed cost of an indexed candidate enumeration (a hash probe that
+#: typically returns zero or one oid).
+INDEXED_CARDINALITY = 1.0
+
+
+class PlanError(Exception):
+    """Raised when a clause body admits no static evaluation order."""
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A fixed evaluation order for one clause body.
+
+    ``order`` maps step position to the atom's position in the clause
+    body; ``atoms_reordered`` counts positions the planner moved.
+    ``index_paths`` names the (class, projection path) indexes the plan
+    probes — the program planner prebuilds their union across clauses.
+    ``estimated_cost`` is the product-sum of generator cardinalities used
+    to pick the order; it is an ordinal, not a time prediction.
+    """
+
+    clause: Clause
+    steps: Tuple[PlanStep, ...]
+    order: Tuple[int, ...]
+    atoms_reordered: int
+    index_paths: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    estimated_cost: float
+
+    @property
+    def label(self) -> str:
+        return self.clause.name or str(self.clause)
+
+    def explain(self) -> str:
+        """A stable, human-readable rendering of the plan."""
+        lines = [
+            f"plan {self.label}: {len(self.steps)} steps, "
+            f"{self.atoms_reordered} reordered, "
+            f"est. cost {self.estimated_cost:g}"
+        ]
+        for position, step in enumerate(self.steps):
+            note = ""
+            if step.mode == STEP_MEMBER_INDEX:
+                path = ".".join(step.selector_path or ())
+                note = f"  [index ({step.atom.class_name}, {path}) = " \
+                       f"{step.selector_term}]"
+            elif step.mode == STEP_MEMBER_SCAN:
+                note = f"  [scan {step.atom.class_name}]"
+            lines.append(
+                f"  {position + 1}. {step.mode:<12} {step.atom}{note}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """Join plans for every clause of a program plus the shared pool.
+
+    ``prebuilt_indexes`` counts the indexes materialised at planning
+    time; per-run :class:`~repro.engine.executor.ExecutionStats` report
+    only in-run deltas, so this is the number to add when attributing
+    total index builds to one planned run.
+    """
+
+    plans: Tuple[JoinPlan, ...]
+    pool: IndexPool
+    unplanned: Tuple[str, ...] = ()
+    prebuilt_indexes: int = 0
+
+    def plan_for(self, clause: Clause) -> Optional[JoinPlan]:
+        for plan in self.plans:
+            if plan.clause is clause or plan.clause == clause:
+                return plan
+        return None
+
+    def index_paths(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """Union of index keys across clauses, deduplicated and sorted."""
+        keys: Set[Tuple[str, Tuple[str, ...]]] = set()
+        for plan in self.plans:
+            keys.update(plan.index_paths)
+        return tuple(sorted(keys))
+
+    def explain(self) -> str:
+        lines = [f"program plan: {len(self.plans)} clause(s), "
+                 f"{len(self.index_paths())} shared index(es)"]
+        for class_name, path in self.index_paths():
+            lines.append(f"  index ({class_name}, {'.'.join(path)})")
+        for plan in self.plans:
+            lines.append(plan.explain())
+        if self.unplanned:
+            lines.append("unplanned (dynamic fallback): "
+                         + ", ".join(self.unplanned))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Static readiness (mirrors Matcher._readiness over a boundness set)
+# ----------------------------------------------------------------------
+
+def _known(term: Term, bound: Set[str]) -> bool:
+    """Static mirror of ``is_evaluable``: every variable already bound."""
+    return term.variables() <= bound
+
+
+def _classify(atom: Atom, bound: Set[str]) -> Optional[str]:
+    """The step mode ``atom`` admits under ``bound``, or None.
+
+    Exactly mirrors :meth:`Matcher._readiness`, with the binding replaced
+    by the set of statically-bound variables — readiness depends only on
+    *which* variables are bound, never on their values, so the static and
+    dynamic classifications agree on every execution path.
+    """
+    if isinstance(atom, MemberAtom):
+        if _known(atom.element, bound):
+            return STEP_MEMBER_TEST
+        if _is_pattern(atom.element):
+            return STEP_MEMBER_SCAN
+        return None
+    if isinstance(atom, InAtom):
+        if not _known(atom.collection, bound):
+            return None
+        if _known(atom.element, bound):
+            return STEP_IN_TEST
+        if _is_pattern(atom.element):
+            return STEP_IN_GENERATE
+        return None
+    if isinstance(atom, EqAtom):
+        left_known = _known(atom.left, bound)
+        right_known = _known(atom.right, bound)
+        if left_known and right_known:
+            return STEP_EQ_TEST
+        if left_known and _is_pattern(atom.right):
+            return STEP_EQ_BIND
+        if right_known and _is_pattern(atom.left):
+            return STEP_EQ_BIND
+        return None
+    if isinstance(atom, (NeqAtom, LtAtom, LeqAtom)):
+        if _known(atom.left, bound) and _known(atom.right, bound):
+            return STEP_COMPARE
+        return None
+    return None
+
+
+class _SelectorFinder:
+    """Static index-selector discovery, cached per clause.
+
+    Definition chains from a generator's element variable and the body's
+    constant equations never change while planning one clause (a chain
+    atom whose subject derives from the still-unbound element cannot have
+    executed yet), so both are computed once and reused across the greedy
+    loop's candidate evaluations — the static twin of
+    ``Matcher._find_selector`` without its per-call re-analysis.
+    """
+
+    def __init__(self, body: Sequence[Atom]) -> None:
+        self._body = body
+        self._constants = constant_bindings(body)
+        self._chains: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+
+    def selector_for(self, element: str, bound: Set[str]
+                     ) -> Optional[Tuple[Tuple[str, ...], Term]]:
+        """A (path, value term) pair whose value is known at this point."""
+        chains = self._chains.get(element)
+        if chains is None:
+            chains = definition_chains(self._body, element)
+            self._chains[element] = chains
+        best: Optional[Tuple[Tuple[str, ...], Term]] = None
+        for name, path in chains.items():
+            if not path:
+                continue
+            if name in bound:
+                candidate: Optional[Term] = Var(name)
+            elif name in self._constants:
+                candidate = self._constants[name]
+            else:
+                continue
+            # Prefer the shortest path (cheapest index build), then the
+            # lexicographically first, for deterministic plans.
+            key = (len(path), path)
+            if best is None or key < (len(best[0]), best[0]):
+                best = (path, candidate)
+        return best
+
+
+def _compile_step(atom: Atom, mode: str, bound: Set[str],
+                  selectors: Optional[_SelectorFinder] = None) -> PlanStep:
+    """Freeze one classified atom into an executable step."""
+    if (mode == STEP_MEMBER_SCAN and selectors is not None
+            and isinstance(atom.element, Var)):
+        selector = selectors.selector_for(atom.element.name, bound)
+        if selector is not None:
+            path, value_term = selector
+            return PlanStep(atom, STEP_MEMBER_INDEX,
+                            binds=tuple(sorted(atom.element.variables()
+                                               - bound)),
+                            selector_path=path, selector_term=value_term)
+    if mode == STEP_EQ_BIND:
+        assert isinstance(atom, EqAtom)
+        if _known(atom.left, bound):
+            eval_term, pattern = atom.left, atom.right
+        else:
+            eval_term, pattern = atom.right, atom.left
+        return PlanStep(atom, mode,
+                        binds=tuple(sorted(pattern.variables() - bound)),
+                        eval_term=eval_term, pattern_term=pattern)
+    new_vars: Set[str] = set()
+    if mode == STEP_MEMBER_SCAN:
+        new_vars = set(atom.element.variables()) - bound
+    elif mode == STEP_IN_GENERATE:
+        new_vars = set(atom.element.variables()) - bound
+    return PlanStep(atom, mode, binds=tuple(sorted(new_vars)))
+
+
+def _generator_cost(step: PlanStep,
+                    cardinalities: Mapping[str, int]) -> float:
+    """Estimated number of candidate bindings the step enumerates."""
+    if step.mode == STEP_MEMBER_INDEX:
+        return INDEXED_CARDINALITY
+    if step.mode == STEP_MEMBER_SCAN:
+        return float(cardinalities.get(step.atom.class_name,
+                                       DEFAULT_CLASS_CARDINALITY))
+    if step.mode == STEP_IN_GENERATE:
+        return DEFAULT_COLLECTION_CARDINALITY
+    return 1.0
+
+
+# ----------------------------------------------------------------------
+# Clause and program planning
+# ----------------------------------------------------------------------
+
+def plan_clause(clause: Clause,
+                cardinalities: Optional[Mapping[str, int]] = None,
+                initial_bound: Iterable[str] = ()) -> JoinPlan:
+    """Compute a fixed evaluation order for one clause body.
+
+    Greedy, boundness-simulating ordering: at each point run every ready
+    test immediately (prune first), then a deterministic bind (they never
+    multiply bindings), and only then open the cheapest ready generator —
+    indexed probes before scans, smaller extents before larger ones.
+    Raises :class:`PlanError` when no atom is ever ready (the clause is
+    not range-restricted); callers fall back to the dynamic matcher.
+    """
+    cardinalities = dict(cardinalities or {})
+    bound: Set[str] = set(initial_bound)
+    remaining: List[Tuple[int, Atom]] = list(enumerate(clause.body))
+    selectors = _SelectorFinder(clause.body)
+    steps: List[PlanStep] = []
+    order: List[int] = []
+    estimated = 0.0
+    frontier = 1.0
+    index_paths: Set[Tuple[str, Tuple[str, ...]]] = set()
+
+    while remaining:
+        chosen: Optional[int] = None
+        chosen_step: Optional[PlanStep] = None
+        best_cost = float("inf")
+        for slot, (position, atom) in enumerate(remaining):
+            mode = _classify(atom, bound)
+            if mode is None:
+                continue
+            step = _compile_step(atom, mode, bound, selectors)
+            if step.mode in (STEP_MEMBER_TEST, STEP_IN_TEST,
+                             STEP_EQ_TEST, STEP_COMPARE):
+                chosen, chosen_step = slot, step
+                best_cost = 0.0
+                break
+            if step.mode == STEP_EQ_BIND:
+                chosen, chosen_step = slot, step
+                best_cost = 0.0
+                break
+            cost = _generator_cost(step, cardinalities)
+            if cost < best_cost:
+                chosen, chosen_step = slot, step
+                best_cost = cost
+        if chosen is None or chosen_step is None:
+            pending_text = ", ".join(str(a) for _, a in remaining)
+            raise PlanError(
+                f"clause {clause.name or clause}: no atom is statically "
+                f"ready; pending: {pending_text} (is the clause "
+                f"range-restricted?)")
+        position, _ = remaining.pop(chosen)
+        order.append(position)
+        steps.append(chosen_step)
+        bound.update(chosen_step.binds)
+        if chosen_step.mode == STEP_MEMBER_INDEX:
+            index_paths.add((chosen_step.atom.class_name,
+                             chosen_step.selector_path))
+        if best_cost > 0.0:
+            frontier *= best_cost
+            estimated += frontier
+
+    reordered = sum(1 for step_pos, body_pos in enumerate(order)
+                    if step_pos != body_pos)
+    return JoinPlan(clause=clause, steps=tuple(steps), order=tuple(order),
+                    atoms_reordered=reordered,
+                    index_paths=tuple(sorted(index_paths)),
+                    estimated_cost=estimated)
+
+
+def plan_program(program: Iterable[Clause], instance: Instance,
+                 pool: Optional[IndexPool] = None,
+                 prebuild: bool = True) -> ProgramPlan:
+    """Plan every clause of a program against one source instance.
+
+    Builds (or reuses) a shared :class:`IndexPool` and, with ``prebuild``,
+    materialises the union of all clauses' index selectors up front so no
+    clause pays a lazy index build mid-join.  Clauses that cannot be
+    planned statically are listed in ``unplanned`` and execute on the
+    dynamic path.
+    """
+    pool = pool if pool is not None else IndexPool(instance)
+    cardinalities = instance.class_sizes()
+    plans: List[JoinPlan] = []
+    unplanned: List[str] = []
+    for clause in program:
+        try:
+            plans.append(plan_clause(clause, cardinalities))
+        except PlanError:
+            unplanned.append(clause.name or str(clause))
+    prebuilt = 0
+    if prebuild:
+        keys = sorted({key for plan in plans for key in plan.index_paths})
+        before = pool.builds
+        pool.prebuild(keys)
+        prebuilt = pool.builds - before
+    return ProgramPlan(plans=tuple(plans), pool=pool,
+                       unplanned=tuple(unplanned),
+                       prebuilt_indexes=prebuilt)

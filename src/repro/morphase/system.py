@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..engine.executor import ExecutionError, ExecutionStats, execute
+from ..engine.planner import ProgramPlan, plan_program
 from ..lang.ast import Clause, Program
 from ..lang.parser import parse_program
 from ..lang.range_restriction import check_range_restriction
@@ -56,6 +57,7 @@ class MorphaseResult:
     stats: ExecutionStats
     source_violations: Tuple[Violation, ...] = ()
     cpl_source: Optional[str] = None
+    plan: Optional[ProgramPlan] = None
 
 
 def _plain_schema(schema: AnySchema) -> Schema:
@@ -152,11 +154,33 @@ class Morphase:
                 violations.append(Violation(_key_violation_clause(bad), {}))
         return violations
 
+    def plan(self, sources: Union[Instance, Sequence[Instance]]
+             ) -> ProgramPlan:
+        """Plan the compiled normal form against the source instance(s).
+
+        Exposes the execution planner's choices (fixed atom orders,
+        shared indexes) without running the transformation — the CLI's
+        ``plan`` subcommand prints this.  Indexes are *not* prebuilt:
+        explaining a plan should not pay an execution cost.
+        """
+        merged = self._merge_sources(sources)
+        return plan_program(self.compile().program(), merged,
+                            prebuild=False)
+
+    def _merge_sources(self, sources: Union[Instance, Sequence[Instance]]
+                       ) -> Instance:
+        if isinstance(sources, Instance):
+            return (sources if sources.schema.classes
+                    == self.source_schema.classes
+                    else merge_instances("__source__", [sources]))
+        return merge_instances("__source__", list(sources))
+
     def transform(self, sources: Union[Instance, Sequence[Instance]],
                   validate: bool = True,
                   check_source_constraints: bool = False,
                   backend: str = "direct",
-                  defaults=None) -> MorphaseResult:
+                  defaults=None,
+                  use_planner: bool = True) -> MorphaseResult:
         """Run the compiled program over the source instance(s).
 
         ``backend`` is ``"direct"`` (the one-pass executor) or ``"cpl"``
@@ -164,14 +188,13 @@ class Morphase:
         ``defaults`` maps ``(class, attribute)`` to fill-in values for
         attributes no clause derived (direct backend only); see
         :meth:`repro.engine.executor.Executor.freeze`.
-        """
-        if isinstance(sources, Instance):
-            merged = (sources if sources.schema.classes
-                      == self.source_schema.classes
-                      else merge_instances("__source__", [sources]))
-        else:
-            merged = merge_instances("__source__", list(sources))
 
+        The direct backend plans the program once per run by default
+        (fixed atom orders plus a shared prebuilt index pool);
+        ``use_planner=False`` forces the naive per-clause path, kept as
+        the differential oracle.
+        """
+        merged = self._merge_sources(sources)
         normalized = self.compile()
         source_violations: Tuple[Violation, ...] = ()
         if check_source_constraints:
@@ -182,10 +205,13 @@ class Morphase:
                     "source constraints violated: "
                     + "; ".join(str(v) for v in found[:5]))
 
+        program_plan: Optional[ProgramPlan] = None
         if backend == "direct":
+            if use_planner:
+                program_plan = plan_program(normalized.program(), merged)
             target, stats = execute(normalized.program(), merged,
                                     self.target_plain, validate=validate,
-                                    defaults=defaults)
+                                    defaults=defaults, plan=program_plan)
             cpl_source = None
         elif backend == "cpl":
             if defaults:
@@ -208,7 +234,7 @@ class Morphase:
         return MorphaseResult(target=target, normalized=normalized,
                               stats=stats,
                               source_violations=source_violations,
-                              cpl_source=cpl_source)
+                              cpl_source=cpl_source, plan=program_plan)
 
     # ------------------------------------------------------------------
     def audit(self, sources: Union[Instance, Sequence[Instance]],

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm,
                         Term, Var, VariantTerm)
+from ..semantics.match import ELEMENT_STEP
 from .congruence import Congruence, KeyPaths, Unsatisfiable, congruence_of
 
 
@@ -184,6 +185,70 @@ def simplify_clause(clause: Clause,
 
     return Clause(tuple(head), tuple(body), name=clause.name,
                   kind=clause.kind)
+
+
+def constant_bindings(body: Sequence[Atom]) -> Dict[str, "Const"]:
+    """Variables equated to a constant anywhere in ``body``.
+
+    This is join-planning metadata: a constant-bound variable at the end
+    of a projection chain makes the chain an index selector even before
+    any generator has run (the planner and the matcher's dynamic selector
+    discovery agree on this).
+    """
+    constants: Dict[str, Const] = {}
+    for atom in body:
+        if not isinstance(atom, EqAtom):
+            continue
+        if isinstance(atom.left, Var) and isinstance(atom.right, Const):
+            constants[atom.left.name] = atom.right
+        elif isinstance(atom.left, Const) and isinstance(atom.right, Var):
+            constants[atom.right.name] = atom.left
+    return constants
+
+
+def definition_chains(body: Sequence[Atom], root: str,
+                      max_depth: int = 6) -> Dict[str, Tuple[str, ...]]:
+    """Access paths reachable from ``root`` through SNF definitions.
+
+    Follows projection definitions ``V = X.a``, ``W = V.b`` ... and
+    collection memberships ``E in V`` (recorded as an :data:`ELEMENT_STEP`
+    hop) and maps each reached variable to its path from ``root`` (the
+    root itself maps to the empty path).  SNF bodies define each such
+    variable once, so the paths are unambiguous; ``max_depth`` bounds the
+    walk.
+
+    The execution planner (:mod:`repro.engine.planner`) uses these chains
+    to decide, per membership generator, whether a hash index over
+    ``(class, path)`` can replace the extent scan — including joins that
+    go *through* set-valued attributes (``S in G.symbol``), which the
+    dynamic matcher's per-binding selector discovery cannot see.
+    """
+    chains: Dict[str, Tuple[str, ...]] = {root: ()}
+    for _ in range(max_depth):
+        progressed = False
+        for atom in body:
+            if (isinstance(atom, EqAtom)
+                    and isinstance(atom.left, Var)
+                    and isinstance(atom.right, Proj)
+                    and isinstance(atom.right.subject, Var)):
+                subject = atom.right.subject.name
+                defined = atom.left.name
+                step: Optional[str] = atom.right.attr
+            elif (isinstance(atom, InAtom)
+                    and isinstance(atom.element, Var)
+                    and isinstance(atom.collection, Var)):
+                subject = atom.collection.name
+                defined = atom.element.name
+                step = ELEMENT_STEP
+            else:
+                continue
+            if subject not in chains or defined in chains:
+                continue
+            chains[defined] = chains[subject] + (step,)
+            progressed = True
+        if not progressed:
+            break
+    return chains
 
 
 def is_body_satisfiable(clause: Clause,

@@ -18,6 +18,7 @@ payloads and Skolem arguments (recovering arguments from keyed identities).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..lang.ast import (Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom,
@@ -31,6 +32,136 @@ from .eval import (Binding, EvalError, evaluate, is_evaluable, project,
 
 class MatchError(Exception):
     """Raised when atoms cannot be ordered for evaluation."""
+
+
+#: Path step marking an element-of hop through a collection-valued
+#: attribute.  A path ``("gene", "[]", "symbol", "[]")`` reads: project
+#: ``gene``, take each element, project ``symbol``, take each element —
+#: indexing joins that go *through* sets, not just equality chains.
+ELEMENT_STEP = "[]"
+
+
+class IndexPool:
+    """Shared hash indexes over one instance: (class, path) -> value -> oids.
+
+    A pool turns equality joins over class extents into hash lookups.  It
+    is shareable: the program planner (:mod:`repro.engine.planner`) builds
+    one pool per source instance and injects it into every clause's
+    matcher, so an index over e.g. ``(SequenceT, name)`` is built once for
+    the whole program instead of once per :class:`Matcher`.
+
+    Paths may contain :data:`ELEMENT_STEP` hops; the index then maps each
+    value *reachable* through the path (fanning out over collection
+    elements) to the oids that reach it.  Such an index narrows a
+    membership generator to a candidate superset — the clause's remaining
+    atoms still verify the chain, so correctness never depends on the
+    index being exact.
+
+    Counters record how the pool was used (``ExecutionStats`` reads them):
+    ``builds`` indexes materialised, ``lookups`` total indexed probes (each
+    one replaces a full extent scan), split into ``hits`` (non-empty
+    candidate list) and ``misses`` (provably no match, no scan needed).
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]],
+                            Dict[Value, Tuple[Oid, ...]]] = {}
+        self.builds = 0
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+
+    def index_for(self, class_name: str, path: Tuple[str, ...]
+                  ) -> Dict[Value, Tuple[Oid, ...]]:
+        """The index for one (class, projection path), built on demand."""
+        key = (class_name, path)
+        index = self._indexes.get(key)
+        if index is not None:
+            return index
+        built: Dict[Value, List[Oid]] = {}
+        for oid in self.instance.objects_of(class_name):
+            reached: List[Value] = [oid]
+            for step in path:
+                advanced: List[Value] = []
+                if step == ELEMENT_STEP:
+                    for value in reached:
+                        if isinstance(value, (WolSet, WolList)):
+                            advanced.extend(value)
+                else:
+                    for value in reached:
+                        try:
+                            advanced.append(
+                                project(value, step, self.instance))
+                        except EvalError:
+                            continue  # this branch dies, others survive
+                reached = advanced
+                if not reached:
+                    break
+            seen: set = set()
+            for value in reached:
+                if value not in seen:
+                    seen.add(value)
+                    built.setdefault(value, []).append(oid)
+        frozen = {value: tuple(oids) for value, oids in built.items()}
+        self._indexes[key] = frozen
+        self.builds += 1
+        return frozen
+
+    def prebuild(self, keys: Sequence[Tuple[str, Tuple[str, ...]]]) -> None:
+        """Materialise a batch of indexes up front (planner entry point)."""
+        for class_name, path in keys:
+            self.index_for(class_name, path)
+
+    def lookup(self, class_name: str, path: Tuple[str, ...],
+               value: Value) -> Tuple[Oid, ...]:
+        """Indexed probe: the oids whose ``path`` projects to ``value``."""
+        self.lookups += 1
+        candidates = self.index_for(class_name, path).get(value, ())
+        if candidates:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return candidates
+
+    def indexed_keys(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        return tuple(sorted(self._indexes))
+
+
+#: Plan step modes (computed statically by :mod:`repro.engine.planner`).
+STEP_MEMBER_TEST = "member-test"
+STEP_MEMBER_SCAN = "member-scan"
+STEP_MEMBER_INDEX = "member-index"
+STEP_IN_TEST = "in-test"
+STEP_IN_GENERATE = "in-generate"
+STEP_EQ_TEST = "eq-test"
+STEP_EQ_BIND = "eq-bind"
+STEP_COMPARE = "compare-test"
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One precompiled evaluation step of a clause body.
+
+    The program planner classifies each atom once, statically — instead of
+    the dynamic matcher re-deriving readiness (and re-discovering index
+    selectors) for every partial binding.  ``binds`` lists the variables
+    this step introduces; they are guaranteed unbound when the step runs.
+
+    * ``member-index`` carries ``selector_path``/``selector_term``: the
+      candidates come from an :class:`IndexPool` probe with the value of
+      ``selector_term`` (bound by earlier steps) instead of an extent scan.
+    * ``eq-bind`` carries ``eval_term`` (evaluable now) and
+      ``pattern_term`` (the side being unified/bound).
+    """
+
+    atom: Atom
+    mode: str
+    binds: Tuple[str, ...] = ()
+    selector_path: Optional[Tuple[str, ...]] = None
+    selector_term: Optional[Term] = None
+    eval_term: Optional[Term] = None
+    pattern_term: Optional[Term] = None
 
 
 def unify_term(term: Term, value: Value, binding: Binding,
@@ -134,25 +265,45 @@ class Matcher:
     bindings as early as possible.  Disabling it (atoms processed in
     textual order, generators included) is the A2 ablation — the results
     are identical but the search explores more bindings.
+
+    ``index_pool`` injects a shared :class:`IndexPool`; when omitted the
+    matcher owns a private pool (the pre-planner behaviour, indexes built
+    lazily per matcher).  ``run_plan`` executes a precompiled sequence of
+    :class:`PlanStep` (a fixed atom order chosen once by the program
+    planner) instead of re-deriving the order per binding.
     """
 
     def __init__(self, instance: Instance,
                  prefer_tests: bool = True,
-                 use_indexes: bool = True) -> None:
+                 use_indexes: bool = True,
+                 index_pool: Optional[IndexPool] = None) -> None:
         self.instance = instance
         self.prefer_tests = prefer_tests
         self.use_indexes = use_indexes
-        # Lazily-built hash indexes: (class, attribute path) -> value ->
-        # matching oids.  These turn equality joins over class extents
-        # into hash lookups, keeping normal-form execution one-pass in
-        # spirit *and* in cost.
-        self._path_index: Dict[Tuple[str, Tuple[str, ...]],
-                               Dict[Value, Tuple[Oid, ...]]] = {}
+        # Hash indexes turning equality joins over class extents into
+        # lookups, keeping normal-form execution one-pass in spirit *and*
+        # in cost.  Shared across clauses when a pool is injected.
+        self.pool = index_pool if index_pool is not None else \
+            IndexPool(instance)
 
     # ------------------------------------------------------------------
     def solutions(self, atoms: Sequence[Atom],
-                  initial: Optional[Binding] = None) -> Iterator[Binding]:
-        """All bindings extending ``initial`` that satisfy ``atoms``."""
+                  initial: Optional[Binding] = None,
+                  plan: Optional[Sequence[PlanStep]] = None
+                  ) -> Iterator[Binding]:
+        """All bindings extending ``initial`` that satisfy ``atoms``.
+
+        With ``plan`` the atoms are processed in the fixed, precompiled
+        order instead of the dynamic readiness order; the solution set is
+        identical (differential tests enforce this).  A plan compiled
+        without knowledge of ``initial``'s variables cannot honour them
+        (its steps would re-bind them), so such calls fall back to the
+        dynamic order rather than return wrong solutions.
+        """
+        if plan is not None:
+            if not _plan_conflicts_with(plan, initial):
+                yield from self.run_plan(plan, initial)
+                return
         yield from self._solve(list(atoms), dict(initial or {}))
 
     def satisfiable(self, atoms: Sequence[Atom],
@@ -339,8 +490,7 @@ class Matcher:
         if selector is None:
             return extent
         path, value = selector
-        index = self._index_for(atom.class_name, path)
-        return index.get(value, ())
+        return self.pool.lookup(atom.class_name, path, value)
 
     def _find_selector(self, element: str, binding: Binding,
                        rest: Sequence[Atom]
@@ -384,26 +534,167 @@ class Matcher:
                 break
         return best
 
-    def _index_for(self, class_name: str, path: Tuple[str, ...]
-                   ) -> Dict[Value, Tuple[Oid, ...]]:
-        key = (class_name, path)
-        index = self._path_index.get(key)
-        if index is not None:
-            return index
-        built: Dict[Value, List[Oid]] = {}
-        for oid in self.instance.objects_of(class_name):
-            value: Optional[Value] = oid
-            for attr in path:
-                try:
-                    value = project(value, attr, self.instance)
-                except EvalError:
-                    value = None
-                    break
-            if value is not None:
-                built.setdefault(value, []).append(oid)
-        frozen = {value: tuple(oids) for value, oids in built.items()}
-        self._path_index[key] = frozen
-        return frozen
+    # ------------------------------------------------------------------
+    # Planned execution
+    # ------------------------------------------------------------------
+    def run_plan(self, steps: Sequence[PlanStep],
+                 initial: Optional[Binding] = None) -> Iterator[Binding]:
+        """Execute a precompiled step sequence (fixed atom order).
+
+        Each step's readiness, direction and index selector were resolved
+        statically by the planner, so the hot loop does no atom
+        re-classification, no term-evaluability walks and no per-binding
+        selector discovery — just evaluation, unification and (indexed)
+        candidate enumeration.
+
+        ``initial``'s variables must have been declared to the planner
+        (``plan_clause(..., initial_bound=...)``): a step compiled to
+        *bind* a variable would silently overwrite a pre-bound value.
+        Such mismatches raise :class:`MatchError`; use
+        :meth:`solutions`, which falls back to the dynamic order instead.
+        """
+        steps = tuple(steps)
+        if _plan_conflicts_with(steps, initial):
+            raise MatchError(
+                "plan boundness assumptions do not match the initial "
+                "binding (re-plan with matching initial_bound, or use "
+                "solutions() for the dynamic fallback)")
+        yield from self._run_steps(steps, 0, dict(initial or {}))
+
+    def _run_steps(self, steps: Tuple[PlanStep, ...], position: int,
+                   binding: Binding) -> Iterator[Binding]:
+        if position == len(steps):
+            yield binding
+            return
+        step = steps[position]
+        following = position + 1
+        for extended in self._expand_step(step, binding):
+            yield from self._run_steps(steps, following, extended)
+
+    def _expand_step(self, step: PlanStep,
+                     binding: Binding) -> Iterator[Binding]:
+        atom = step.atom
+        mode = step.mode
+        if mode == STEP_MEMBER_SCAN or mode == STEP_MEMBER_INDEX:
+            assert isinstance(atom, MemberAtom)
+            if mode == STEP_MEMBER_INDEX and self.use_indexes:
+                selector = step.selector_term
+                if isinstance(selector, Var):
+                    value = binding.get(selector.name)
+                else:
+                    assert isinstance(selector, Const)
+                    value = selector.value
+                if value is None:
+                    candidates: Sequence[Oid] = ()
+                else:
+                    candidates = self.pool.lookup(
+                        atom.class_name, step.selector_path, value)
+            else:
+                candidates = self.instance.objects_of(atom.class_name)
+            element = atom.element
+            if isinstance(element, Var):
+                name = element.name
+                for oid in candidates:
+                    extended = dict(binding)
+                    extended[name] = oid
+                    yield extended
+            else:
+                for oid in candidates:
+                    extended = unify_term(element, oid, binding,
+                                          self.instance)
+                    if extended is not None:
+                        yield extended
+            return
+        if mode == STEP_MEMBER_TEST:
+            assert isinstance(atom, MemberAtom)
+            element = atom.element
+            if isinstance(element, Var):
+                value = binding.get(element.name)
+            else:
+                value = self._try_eval(element, binding)
+            if (isinstance(value, Oid)
+                    and value.class_name == atom.class_name
+                    and self.instance.has_object(value)):
+                yield binding
+            return
+        if mode == STEP_IN_GENERATE:
+            assert isinstance(atom, InAtom)
+            collection = self._try_eval(atom.collection, binding)
+            if not isinstance(collection, (WolSet, WolList)):
+                return
+            element = atom.element
+            if isinstance(element, Var):
+                name = element.name
+                for value in _deterministic(collection):
+                    extended = dict(binding)
+                    extended[name] = value
+                    yield extended
+            else:
+                for value in _deterministic(collection):
+                    extended = unify_term(element, value, binding,
+                                          self.instance)
+                    if extended is not None:
+                        yield extended
+            return
+        if mode == STEP_IN_TEST:
+            assert isinstance(atom, InAtom)
+            collection = self._try_eval(atom.collection, binding)
+            if not isinstance(collection, (WolSet, WolList)):
+                return
+            value = self._try_eval(atom.element, binding)
+            if any(value == element for element in collection):
+                yield binding
+            return
+        if mode == STEP_EQ_BIND:
+            value = self._try_eval(step.eval_term, binding)
+            if value is None:
+                return
+            pattern = step.pattern_term
+            if isinstance(pattern, Var):
+                extended = dict(binding)
+                extended[pattern.name] = value
+                yield extended
+                return
+            extended = unify_term(pattern, value, binding, self.instance)
+            if extended is not None:
+                yield extended
+            return
+        if mode == STEP_EQ_TEST:
+            assert isinstance(atom, EqAtom)
+            left = self._try_eval(atom.left, binding)
+            right = self._try_eval(atom.right, binding)
+            if left is not None and left == right:
+                yield binding
+            return
+        if mode == STEP_COMPARE:
+            yield from self._expand(atom, binding)
+            return
+        raise MatchError(f"unknown plan step mode {mode!r}")
+
+
+def _plan_conflicts_with(steps: Sequence[PlanStep],
+                         initial: Optional[Binding]) -> bool:
+    """True when the plan's boundness assumptions don't match ``initial``.
+
+    Two mismatch directions: a step *re-binds* a variable the caller
+    pre-bound (the plan was compiled without it), or a step *requires* a
+    variable that neither the caller nor any earlier step binds (the plan
+    was compiled with an ``initial_bound`` the caller didn't supply).
+    Either way the steps would silently compute wrong solutions.
+    """
+    pre_bound = set(initial or ())
+    available = set(pre_bound)
+    for step in steps:
+        binds = set(step.binds)
+        if binds & pre_bound:
+            return True
+        required = set(step.atom.variables()) - binds
+        if step.selector_term is not None:
+            required |= step.selector_term.variables()
+        if not required <= available:
+            return True
+        available |= binds
+    return False
 
 
 def _deterministic(collection) -> List[Value]:

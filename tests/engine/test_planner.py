@@ -1,0 +1,339 @@
+"""Unit and differential tests for the execution planner."""
+
+import pytest
+
+from repro.engine import Executor, execute, plan_clause, plan_program
+from repro.engine.planner import JoinPlan, PlanError, ProgramPlan
+from repro.lang import parse_clause, parse_program
+from repro.model import (INT, STR, InstanceBuilder, Record, Schema, WolSet,
+                         record, set_of)
+from repro.morphase import Morphase
+from repro.normalization.optimize import (ELEMENT_STEP, constant_bindings,
+                                          definition_chains)
+from repro.semantics.match import (IndexPool, MatchError, Matcher,
+                                   STEP_EQ_BIND, STEP_EQ_TEST,
+                                   STEP_MEMBER_INDEX, STEP_MEMBER_SCAN)
+from repro.workloads import cities, genome
+from repro.workloads.cities import sample_euro_instance
+
+CLASSES = ["CityE", "CountryE"]
+
+
+def clause(text, classes=CLASSES):
+    return parse_clause(text, classes=classes)
+
+
+def body_clause(body_text, classes=CLASSES):
+    return clause(f"T = T <= {body_text};", classes=classes)
+
+
+class TestAtomOrdering:
+    def test_tests_run_before_generators(self):
+        # The comparison only becomes ready once N is bound, but the
+        # second generator must wait until after it: tests prune first.
+        c = body_clause(
+            'E in CountryE, N = E.name, N != "Aland", C in CityE')
+        plan = plan_clause(c)
+        modes = [step.mode for step in plan.steps]
+        assert modes.index("compare-test") < modes.index(
+            "member-scan", modes.index("member-scan") + 1)
+
+    def test_binds_run_before_generators(self):
+        c = body_clause("E in CountryE, N = E.name, C in CityE")
+        plan = plan_clause(c)
+        modes = [step.mode for step in plan.steps]
+        # bind of N sits between the two generators, not after them.
+        assert modes == [STEP_MEMBER_SCAN, STEP_EQ_BIND, STEP_MEMBER_SCAN]
+
+    def test_cheapest_generator_first(self):
+        c = body_clause("C in CityE, E in CountryE")
+        plan = plan_clause(c, cardinalities={"CityE": 1000, "CountryE": 3})
+        assert plan.steps[0].atom.class_name == "CountryE"
+        assert plan.steps[1].atom.class_name == "CityE"
+        # And the other way around under inverted statistics.
+        flipped = plan_clause(c, cardinalities={"CityE": 3,
+                                                "CountryE": 1000})
+        assert flipped.steps[0].atom.class_name == "CityE"
+
+    def test_equality_join_becomes_indexed(self):
+        c = body_clause(
+            'E in CountryE, V = E.name, V = "France"')
+        plan = plan_clause(c)
+        indexed = [s for s in plan.steps if s.mode == STEP_MEMBER_INDEX]
+        assert len(indexed) == 1
+        assert indexed[0].selector_path == ("name",)
+
+    def test_unplannable_clause_raises(self):
+        # A lone comparison over unbound variables is never ready.
+        c = body_clause("N < M")
+        with pytest.raises(PlanError):
+            plan_clause(c)
+
+    def test_reordered_count(self):
+        c = body_clause("E in CountryE, N = E.name")
+        plan = plan_clause(c)
+        assert plan.atoms_reordered == 0
+        assert plan.order == (0, 1)
+
+
+class TestDeterminismAndExplain:
+    def test_plans_are_deterministic(self):
+        c = body_clause(
+            "C in CityE, E in CountryE, N = E.name, V = C.country")
+        cards = {"CityE": 40, "CountryE": 8}
+        first = plan_clause(c, cards)
+        second = plan_clause(c, cards)
+        assert first.steps == second.steps
+        assert first.order == second.order
+        assert first.explain() == second.explain()
+
+    def test_explain_is_stable(self):
+        c = body_clause("E in CountryE, N = E.name")
+        plan = plan_clause(c, cardinalities={"CountryE": 8})
+        assert plan.explain() == (
+            "plan T = T <= E in CountryE, N = E.name;: "
+            "2 steps, 0 reordered, est. cost 8\n"
+            "  1. member-scan  E in CountryE  [scan CountryE]\n"
+            "  2. eq-bind      N = E.name")
+
+    def test_program_plan_explain_lists_shared_indexes(self):
+        morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                            cities.target_schema(), cities.PROGRAM_TEXT)
+        sources = [cities.generate_us_instance(3, 3, seed=1),
+                   cities.generate_euro_instance(6, 4, seed=1)]
+        plan = morphase.plan(sources)
+        text = plan.explain()
+        assert text == morphase.plan(sources).explain()  # stable
+        assert "shared index(es)" in text
+        assert "index (CityE, country.name)" in text
+
+
+class TestChainAnalysis:
+    def test_definition_chains_follow_projections(self):
+        c = body_clause("E in CountryE, V = E.name")
+        chains = definition_chains(c.body, "E")
+        assert chains["E"] == ()
+        assert chains["V"] == ("name",)
+
+    def test_definition_chains_follow_memberships(self):
+        schema_classes = ["Gene", "Sequence"]
+        c = body_clause("Q in Sequence, S = Q.gene, G in S",
+                        classes=schema_classes)
+        chains = definition_chains(c.body, "Q")
+        assert chains["G"] == ("gene", ELEMENT_STEP)
+
+    def test_constant_bindings_both_orientations(self):
+        c = body_clause('V = "France", "Paris" = W, E in CountryE')
+        constants = constant_bindings(c.body)
+        assert constants["V"].value == "France"
+        assert constants["W"].value == "Paris"
+
+
+def _containment_instance():
+    schema = Schema.of("Src",
+                       Tag=record(label=STR),
+                       Doc=record(title=STR, tags=set_of(STR)))
+    builder = InstanceBuilder(schema)
+    builder.new("Tag", Record.of(label="a"))
+    builder.new("Tag", Record.of(label="b"))
+    builder.new("Doc", Record.of(title="d1", tags=WolSet.of("a", "x")))
+    builder.new("Doc", Record.of(title="d2", tags=WolSet.of("b")))
+    builder.new("Doc", Record.of(title="d3", tags=WolSet.of("a", "b")))
+    return builder.freeze()
+
+
+class TestIndexPool:
+    def test_shared_pool_builds_each_index_once(self):
+        instance = sample_euro_instance()
+        pool = IndexPool(instance)
+        pool.prebuild([("CityE", ("name",)), ("CityE", ("name",))])
+        assert pool.builds == 1
+        pool.lookup("CityE", ("name",), "Paris")
+        assert pool.builds == 1
+        assert pool.lookups == 1
+
+    def test_hit_and_miss_counters(self):
+        pool = IndexPool(sample_euro_instance())
+        assert pool.lookup("CityE", ("name",), "Paris")
+        assert not pool.lookup("CityE", ("name",), "Atlantis")
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_containment_path_fans_out(self):
+        instance = _containment_instance()
+        pool = IndexPool(instance)
+        index = pool.index_for("Doc", ("tags", ELEMENT_STEP))
+        titles = {value: sorted(instance.attribute(oid, "title")
+                                for oid in oids)
+                  for value, oids in index.items()}
+        assert titles == {"a": ["d1", "d3"], "b": ["d2", "d3"],
+                          "x": ["d1"]}
+
+    def test_matcher_accepts_injected_pool(self):
+        instance = sample_euro_instance()
+        pool = IndexPool(instance)
+        first = Matcher(instance, index_pool=pool)
+        second = Matcher(instance, index_pool=pool)
+        body = body_clause(
+            'C in CityE, V = C.country, N = V.name, N = "France"').body
+        assert list(first.solutions(body))
+        builds = pool.builds
+        assert list(second.solutions(body))
+        assert pool.builds == builds  # reused, not rebuilt
+
+
+class TestPlannedNaiveAgreement:
+    """The planned path and the naive dynamic path are interchangeable."""
+
+    def _solution_sets(self, instance, body, cards):
+        def canonical(bindings):
+            return sorted(
+                tuple(sorted((name, str(value))
+                             for name, value in b.items()))
+                for b in bindings)
+
+        c = parse_clause("T = T <= " + body + ";", classes=CLASSES)
+        naive = Matcher(instance, use_indexes=False)
+        plain = canonical(naive.solutions(c.body))
+        pool = IndexPool(instance)
+        planned_matcher = Matcher(instance, index_pool=pool)
+        plan = plan_clause(c, cards)
+        planned = canonical(planned_matcher.run_plan(plan.steps))
+        return plain, planned
+
+    @pytest.mark.parametrize("body", [
+        "E in CountryE, N = E.name",
+        'C in CityE, V = C.country, N = V.name, N = "France"',
+        "C in CityE, E in CountryE, V = C.country, N = V.name, "
+        "M = E.name, N = M",
+        'E in CountryE, N = E.name, N != "France", C in CityE, '
+        "V = C.country, W = V.name, W = N",
+    ])
+    def test_unindexed_and_planned_agree(self, body):
+        instance = sample_euro_instance()
+        cards = instance.class_sizes()
+        plain, planned = self._solution_sets(instance, body, cards)
+        assert plain == planned
+        assert plain  # non-vacuous: every case has solutions
+
+    def test_planned_execution_matches_naive_on_genome(self):
+        """Regression: planned and naive runs build identical warehouses."""
+        from repro.adapters.acedb import (AceDatabase, schema_of_acedb)
+        source_schema = schema_of_acedb(
+            AceDatabase("ACe22", genome.ACE_CLASSES))
+        morphase = Morphase([source_schema], genome.warehouse_schema(),
+                            genome.PROGRAM_TEXT)
+        database = genome.generate_acedb(genes=40, sequences=80,
+                                         clones=80, sparsity=0.85, seed=3)
+        instance = genome.source_instance(database)
+        planned = morphase.transform(instance, use_planner=True)
+        naive = morphase.transform(instance, use_planner=False)
+        assert planned.target.valuations == naive.target.valuations
+        assert planned.stats.bindings_found == naive.stats.bindings_found
+        assert planned.stats.clauses_planned == planned.stats.clauses_run
+        assert naive.stats.clauses_planned == 0
+
+    def test_execute_use_planner_flag(self):
+        prog = parse_program(
+            "T: X in Out, X = Mk_Out(N), X.name = N"
+            " <= I in Item, N = I.name;",
+            classes=["Item", "Out"])
+        schema = Schema.of("Src", Item=record(name=STR))
+        builder = InstanceBuilder(schema)
+        builder.new("Item", Record.of(name="a"))
+        builder.new("Item", Record.of(name="b"))
+        source = builder.freeze()
+        target_schema = Schema.of("Tgt", Out=record(name=STR))
+        planned, planned_stats = execute(prog, source, target_schema,
+                                         use_planner=True)
+        naive, naive_stats = execute(prog, source, target_schema)
+        assert planned.valuations == naive.valuations
+        assert planned_stats.clauses_planned == 1
+        assert naive_stats.clauses_planned == 0
+
+    def test_plan_compiled_with_initial_bound(self):
+        """Plans honouring a declared seed run only with that seed."""
+        instance = sample_euro_instance()
+        c = body_clause("V = C.country, N = V.name")
+        plan = plan_clause(c, instance.class_sizes(),
+                           initial_bound=["C"])
+        matcher = Matcher(instance)
+        city = instance.objects_of("CityE")[0]
+        out = list(matcher.run_plan(plan.steps, initial={"C": city}))
+        assert len(out) == 1
+        assert out[0]["C"] == city and "N" in out[0]
+        # Running without the declared seed must error, not return [].
+        with pytest.raises(MatchError):
+            list(matcher.run_plan(plan.steps))
+
+    def test_initial_binding_falls_back_to_dynamic(self):
+        """A plan compiled without initial bindings must not clobber them."""
+        instance = sample_euro_instance()
+        c = body_clause("C in CityE")
+        plan = plan_clause(c, instance.class_sizes())
+        matcher = Matcher(instance)
+        city = instance.objects_of("CityE")[2]
+        seeded = list(matcher.solutions(c.body, initial={"C": city},
+                                        plan=plan.steps))
+        assert seeded == [{"C": city}]  # fell back, honoured the seed
+        with pytest.raises(MatchError):
+            list(matcher.run_plan(plan.steps, initial={"C": city}))
+        # Initial bindings disjoint from the plan's variables run planned.
+        extra = list(matcher.solutions(c.body, initial={"Z": 1},
+                                       plan=plan.steps))
+        assert len(extra) == len(instance.objects_of("CityE"))
+        assert all(b["Z"] == 1 for b in extra)
+
+    def test_unplannable_clause_falls_back_to_dynamic(self):
+        instance = sample_euro_instance()
+        program = [clause("T = T <= E in CountryE, N = E.name;")]
+        plan = plan_program(program, instance)
+        assert not plan.unplanned
+        assert isinstance(plan, ProgramPlan)
+        assert isinstance(plan.plans[0], JoinPlan)
+
+
+class TestProgramPlanning:
+    def test_index_union_is_prebuilt_once(self):
+        morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                            cities.target_schema(), cities.PROGRAM_TEXT)
+        sources = [cities.generate_us_instance(4, 3, seed=1),
+                   cities.generate_euro_instance(8, 4, seed=1)]
+        result = morphase.transform(sources)
+        stats = result.stats
+        # T1+T3 and T2 share (CityE, country.name): prebuilt once on the
+        # plan's shared pool, probed by both clauses; the run itself
+        # builds nothing lazily (stats record per-run deltas only).
+        assert result.plan.pool.builds == len(result.plan.index_paths())
+        assert result.plan.prebuilt_indexes == len(result.plan.index_paths())
+        assert stats.indexes_built == 0
+        assert stats.clauses_planned == stats.clauses_run
+        assert stats.scans_avoided == stats.index_hits + stats.index_misses
+        assert stats.scans_avoided > 0
+
+    def test_stats_are_per_run_with_shared_pool(self):
+        """A pool shared across executors must not double-count stats."""
+        from repro.lang import parse_program as _parse
+        prog = _parse(
+            "T: X in Out, X = Mk_Out(N), X.name = N"
+            " <= I in Item, N = I.name, V in CollE, W = V.label, W = N;",
+            classes=["Item", "Out", "CollE"])
+        schema = Schema.of("Src", Item=record(name=STR),
+                           CollE=record(label=STR))
+        builder = InstanceBuilder(schema)
+        builder.new("Item", Record.of(name="a"))
+        builder.new("CollE", Record.of(label="a"))
+        source = builder.freeze()
+        target_schema = Schema.of("Tgt", Out=record(name=STR))
+        plan = plan_program(list(prog), source)
+        first = Executor(source, target_schema)
+        first.run_program(prog, plan=plan)
+        second = Executor(source, target_schema)
+        second.run_program(prog, plan=plan)
+        assert second.stats.scans_avoided == first.stats.scans_avoided
+        assert second.stats.index_hits == first.stats.index_hits
+        assert second.stats.indexes_built == 0  # prebuilt by the plan
+
+    def test_eq_test_mode_for_residual_checks(self):
+        c = body_clause("E in CountryE, N = E.name, M = E.name, N = M")
+        plan = plan_clause(c)
+        assert STEP_EQ_TEST in [s.mode for s in plan.steps]
