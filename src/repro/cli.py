@@ -17,8 +17,12 @@ Subcommands::
         Run the transformation over JSON instances; write the target.
 
     python -m repro check    --source euro.schema program.wol \\
-                             --data euro.json
-        Audit constraint clauses against an instance.
+                             --data euro.json [--stats] [--no-planner]
+        Audit constraint clauses against an instance.  The audit is
+        planned by default (per-clause join orders for body and head
+        probe, one shared prebuilt index pool); ``--no-planner`` runs
+        the naive per-clause matchers and ``--stats`` prints the
+        planner/index counters.
 
     python -m repro plan     --source us.schema --target target.schema \\
                              program.wol --data us.json
@@ -38,13 +42,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .constraints.audit import audit_constraints
 from .io.json_io import dump_instance, load_instance
 from .lang.parser import parse_program
 from .lang.pretty import format_program
 from .model.keys import KeyedSchema
 from .model.schema import parse_schema
 from .morphase.system import Morphase
-from .semantics.satisfaction import merge_instances, program_violations
+from .semantics.satisfaction import merge_instances
 
 
 def _load_schema_file(path: str):
@@ -129,13 +134,18 @@ def _cmd_check(args) -> int:
     instances = [load_instance(path) for path in args.data]
     merged = (instances[0] if len(instances) == 1
               else merge_instances("__check__", instances))
-    violations = program_violations(merged, program, limit_per_clause=10)
-    if violations:
-        print(f"{len(violations)} violation(s):")
-        for violation in violations:
+    report = audit_constraints(merged, list(program), limit_per_clause=10,
+                               use_planner=not args.no_planner)
+    if args.stats:
+        print(report.stats_line())
+    if not report.ok:
+        found = [violation for name in report.failed_clauses()
+                 for violation in report.violations[name]]
+        print(f"{len(found)} violation(s):")
+        for violation in found:
             print(f"  {violation}")
         return 1
-    print(f"all {len(program)} clauses satisfied")
+    print(f"all {report.checked} clauses satisfied")
     return 0
 
 
@@ -191,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print executor/planner statistics")
     check_p.add_argument("--data", action="append", required=True,
                          help="instance JSON (repeatable)")
+    check_p.add_argument("--no-planner", action="store_true",
+                         help="disable the audit planner (naive "
+                              "per-clause matchers)")
+    check_p.add_argument("--stats", action="store_true",
+                         help="print audit planner/index statistics")
     plan_p.add_argument("--data", action="append", required=True,
                         help="source instance JSON (repeatable)")
 

@@ -1,13 +1,15 @@
 """Constraint families as WOL clauses (paper Sections 2-4)."""
 
-from .library import (at_most_one, attribute_value, existence_dependency,
-                      functional_dependency, inclusion_dependency,
-                      inverse_attributes, key_constraint, specialization)
+from .library import (at_most_one, attribute_value, containment_dependency,
+                      existence_dependency, functional_dependency,
+                      inclusion_dependency, inverse_attributes,
+                      key_constraint, schema_constraints, specialization)
 from .audit import ConstraintReport, audit_constraints
 
 __all__ = [
-    "at_most_one", "attribute_value", "existence_dependency",
-    "functional_dependency", "inclusion_dependency", "inverse_attributes",
-    "key_constraint", "specialization",
+    "at_most_one", "attribute_value", "containment_dependency",
+    "existence_dependency", "functional_dependency",
+    "inclusion_dependency", "inverse_attributes",
+    "key_constraint", "schema_constraints", "specialization",
     "ConstraintReport", "audit_constraints",
 ]

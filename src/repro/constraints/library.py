@@ -14,10 +14,13 @@ with the normaliser's recognisers.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..lang.ast import (Clause, EqAtom, InAtom, KIND_CONSTRAINT, MemberAtom,
                         Proj, Term, Var)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model.keys import KeyedSchema
 
 Path = Tuple[str, ...]
 
@@ -150,6 +153,56 @@ def attribute_value(class_name: str, path, value,
     return Clause(head, body,
                   name=name or f"value_{class_name}_{'_'.join(path)}",
                   kind=KIND_CONSTRAINT)
+
+
+def containment_dependency(class_name: str, set_attr: str,
+                           target_class: str,
+                           name: Optional[str] = None) -> Clause:
+    """Every element of the set-valued attribute belongs to a class —
+    the referential side of collection-valued attributes.
+
+    >>> print(containment_dependency("Protein", "structures", "Structure"))
+    E in Structure <= X in Protein, E in X.structures;
+    """
+    body = (MemberAtom(Var("X"), class_name),
+            InAtom(Var("E"), Proj(Var("X"), set_attr)))
+    return Clause((MemberAtom(Var("E"), target_class),), body,
+                  name=name or f"elem_{class_name}_{set_attr}",
+                  kind=KIND_CONSTRAINT)
+
+
+def schema_constraints(keyed: "KeyedSchema") -> List[Clause]:
+    """The standard constraint library a keyed schema induces.
+
+    The paper's position made operational: a schema's "built-in"
+    integrity rules are ordinary WOL clauses.  Every keyed class yields
+    its key constraint (the (C8) shape); every reference-typed attribute
+    yields an inclusion dependency; every set-of-references attribute
+    yields a containment dependency.  The result audits any instance of
+    the schema via :func:`repro.constraints.audit.audit_constraints` —
+    the genome and ReLiBase workloads build their constraint libraries
+    from this.
+    """
+    from ..model.types import ClassType, RecordType, SetType
+
+    clauses: List[Clause] = []
+    for cname in keyed.keys.classes():
+        key = keyed.keys.key_for(cname)
+        clauses.append(key_constraint(
+            cname, [path for _, path in key.components]))
+    for cname in keyed.schema.class_names():
+        ctype = keyed.schema.class_type(cname)
+        if not isinstance(ctype, RecordType):
+            continue
+        for label, fty in ctype.fields:
+            if isinstance(fty, ClassType):
+                clauses.append(
+                    inclusion_dependency(cname, label, fty.name))
+            elif (isinstance(fty, SetType)
+                    and isinstance(fty.element, ClassType)):
+                clauses.append(containment_dependency(
+                    cname, label, fty.element.name))
+    return clauses
 
 
 def inverse_attributes(class_a: str, attr_a: str,

@@ -6,9 +6,11 @@ shared index pool that the planned execution path runs on.
 """
 
 from .executor import ExecutionError, ExecutionStats, Executor, execute
-from .planner import (JoinPlan, PlanError, ProgramPlan, plan_clause,
-                      plan_program)
+from .planner import (AuditPlan, ConstraintPlan, JoinPlan, PlanError,
+                      ProgramPlan, plan_audit, plan_clause,
+                      plan_constraint, plan_program)
 
 __all__ = ["ExecutionError", "ExecutionStats", "Executor", "execute",
-           "JoinPlan", "PlanError", "ProgramPlan", "plan_clause",
+           "AuditPlan", "ConstraintPlan", "JoinPlan", "PlanError",
+           "ProgramPlan", "plan_audit", "plan_clause", "plan_constraint",
            "plan_program"]

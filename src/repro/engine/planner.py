@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
-                        MemberAtom, NeqAtom, Program, Term, Var)
+                        MemberAtom, NeqAtom, Program, Proj, Term, Var)
 from ..model.instance import Instance
 from ..normalization.optimize import constant_bindings, definition_chains
 from ..semantics.match import (IndexPool, PlanStep, STEP_COMPARE,
@@ -187,6 +187,17 @@ def _classify(atom: Atom, bound: Set[str]) -> Optional[str]:
     return None
 
 
+def _proj_chain(term: Term) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Decompose a pure projection chain ``X.a.b`` into (root, path)."""
+    path: List[str] = []
+    while isinstance(term, Proj):
+        path.append(term.attr)
+        term = term.subject
+    if not isinstance(term, Var):
+        return None
+    return term.name, tuple(reversed(path))
+
+
 class _SelectorFinder:
     """Static index-selector discovery, cached per clause.
 
@@ -196,12 +207,30 @@ class _SelectorFinder:
     executed yet), so both are computed once and reused across the greedy
     loop's candidate evaluations — the static twin of
     ``Matcher._find_selector`` without its per-call re-analysis.
+
+    Beyond SNF definition chains (``V = X.a``), direct projection
+    equations ``X.a.b = t`` — the shape of un-normalised *constraint*
+    bodies like keys and functional dependencies — also yield selectors:
+    when ``t`` is evaluable under the bound set, a scan of ``X``'s class
+    narrows to an index probe on path ``a.b`` with ``t``'s value.  That
+    turns the quadratic self-joins of key/FD audits into linear probes.
     """
 
     def __init__(self, body: Sequence[Atom]) -> None:
         self._body = body
         self._constants = constant_bindings(body)
         self._chains: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        self._eq_selectors: Dict[str, List[Tuple[Tuple[str, ...], Term]]] = {}
+        for atom in body:
+            if not isinstance(atom, EqAtom):
+                continue
+            for side, other in ((atom.left, atom.right),
+                                (atom.right, atom.left)):
+                chain = _proj_chain(side)
+                if chain is None or not chain[1]:
+                    continue
+                root, path = chain
+                self._eq_selectors.setdefault(root, []).append((path, other))
 
     def selector_for(self, element: str, bound: Set[str]
                      ) -> Optional[Tuple[Tuple[str, ...], Term]]:
@@ -210,22 +239,23 @@ class _SelectorFinder:
         if chains is None:
             chains = definition_chains(self._body, element)
             self._chains[element] = chains
-        best: Optional[Tuple[Tuple[str, ...], Term]] = None
+        candidates: List[Tuple[Tuple[str, ...], Term]] = []
         for name, path in chains.items():
             if not path:
                 continue
             if name in bound:
-                candidate: Optional[Term] = Var(name)
+                candidates.append((path, Var(name)))
             elif name in self._constants:
-                candidate = self._constants[name]
-            else:
-                continue
-            # Prefer the shortest path (cheapest index build), then the
-            # lexicographically first, for deterministic plans.
-            key = (len(path), path)
-            if best is None or key < (len(best[0]), best[0]):
-                best = (path, candidate)
-        return best
+                candidates.append((path, self._constants[name]))
+        for path, term in self._eq_selectors.get(element, ()):
+            if term.variables() <= bound:
+                candidates.append((path, term))
+        if not candidates:
+            return None
+        # Prefer the shortest path (cheapest index build), then the
+        # lexicographically first path/term, for deterministic plans.
+        return min(candidates,
+                   key=lambda cand: (len(cand[0]), cand[0], str(cand[1])))
 
 
 def _compile_step(atom: Atom, mode: str, bound: Set[str],
@@ -372,3 +402,147 @@ def plan_program(program: Iterable[Clause], instance: Instance,
     return ProgramPlan(plans=tuple(plans), pool=pool,
                        unplanned=tuple(unplanned),
                        prebuilt_indexes=prebuilt)
+
+
+# ----------------------------------------------------------------------
+# Constraint-audit planning
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConstraintPlan:
+    """Join plans for one constraint clause's audit.
+
+    Auditing a clause is two nested joins: enumerate every *body*
+    solution, then probe whether the *head* is satisfiable under it
+    (:func:`repro.semantics.satisfaction.clause_violations`).  Both are
+    compiled here — the head probe with the body's variables declared as
+    ``initial_bound``, since every body solution binds exactly them.
+    Either half may be ``None``, in which case that half runs on the
+    dynamic matcher (the clause still shares the audit's index pool).
+    """
+
+    clause: Clause
+    body: Optional[JoinPlan]
+    head: Optional[JoinPlan]
+
+    @property
+    def label(self) -> str:
+        return self.clause.name or str(self.clause)
+
+    def index_paths(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        keys: Set[Tuple[str, Tuple[str, ...]]] = set()
+        for half in (self.body, self.head):
+            if half is not None:
+                keys.update(half.index_paths)
+        return tuple(sorted(keys))
+
+    def explain(self) -> str:
+        lines = [f"constraint {self.label}:"]
+        for title, half in (("body", self.body), ("head", self.head)):
+            if half is None:
+                lines.append(f"  {title}: dynamic fallback")
+            else:
+                lines.append("  " + half.explain().replace(
+                    "\n", "\n  "))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AuditPlan:
+    """One plan per constraint plus the shared, prebuilt index pool.
+
+    ``plans`` is index-aligned with the clause sequence given to
+    :func:`plan_audit`.  ``prebuilt_indexes`` counts the indexes
+    materialised at planning time (the per-run pool deltas reported by
+    :class:`~repro.constraints.audit.ConstraintReport` exclude them).
+    """
+
+    plans: Tuple[ConstraintPlan, ...]
+    pool: IndexPool
+    prebuilt_indexes: int = 0
+
+    @property
+    def planned_bodies(self) -> int:
+        return sum(1 for plan in self.plans if plan.body is not None)
+
+    @property
+    def planned_heads(self) -> int:
+        return sum(1 for plan in self.plans if plan.head is not None)
+
+    def plan_for(self, clause: Clause) -> Optional[ConstraintPlan]:
+        for plan in self.plans:
+            if plan.clause is clause or plan.clause == clause:
+                return plan
+        return None
+
+    def index_paths(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        keys: Set[Tuple[str, Tuple[str, ...]]] = set()
+        for plan in self.plans:
+            keys.update(plan.index_paths())
+        return tuple(sorted(keys))
+
+    def explain(self) -> str:
+        lines = [f"audit plan: {len(self.plans)} constraint(s), "
+                 f"{self.planned_bodies} planned bodies, "
+                 f"{self.planned_heads} planned head probes, "
+                 f"{len(self.index_paths())} shared index(es)"]
+        for class_name, path in self.index_paths():
+            lines.append(f"  index ({class_name}, {'.'.join(path)})")
+        for plan in self.plans:
+            lines.append(plan.explain())
+        return "\n".join(lines)
+
+
+def plan_constraint(clause: Clause,
+                    cardinalities: Optional[Mapping[str, int]] = None
+                    ) -> ConstraintPlan:
+    """Compile one constraint clause's body and head-probe join plans.
+
+    Unlike transformation bodies, constraint bodies are usually *not* in
+    SNF — key and FD shapes join two extents on raw projection equations
+    — so the selector discovery of :class:`_SelectorFinder` matters most
+    here.  A half that is not range-restricted (no static order exists)
+    is left to the dynamic matcher rather than rejected.
+    """
+    body_plan: Optional[JoinPlan] = None
+    try:
+        body_plan = plan_clause(clause, cardinalities)
+    except PlanError:
+        pass
+    body_vars: Set[str] = set()
+    for atom in clause.body:
+        body_vars |= atom.variables()
+    # plan_clause orders a clause's *body*; wrap the head atoms as a
+    # body (Clause insists on a non-empty head, so mirror them there).
+    head_probe = Clause(tuple(clause.head), tuple(clause.head),
+                        name=f"{clause.name or 'constraint'}::head")
+    head_plan: Optional[JoinPlan] = None
+    try:
+        head_plan = plan_clause(head_probe, cardinalities,
+                                initial_bound=body_vars)
+    except PlanError:
+        pass
+    return ConstraintPlan(clause=clause, body=body_plan, head=head_plan)
+
+
+def plan_audit(constraints: Iterable[Clause], instance: Instance,
+               pool: Optional[IndexPool] = None,
+               prebuild: bool = True) -> AuditPlan:
+    """Plan an entire constraint audit against one instance.
+
+    Builds (or reuses) a shared :class:`IndexPool` and, with
+    ``prebuild``, materialises the union of every constraint's body and
+    head-probe selectors up front — the whole audit then runs over one
+    set of indexes instead of N private per-clause matchers.
+    """
+    pool = pool if pool is not None else IndexPool(instance)
+    cardinalities = instance.class_sizes()
+    plans = tuple(plan_constraint(clause, cardinalities)
+                  for clause in constraints)
+    prebuilt = 0
+    if prebuild:
+        keys = sorted({key for plan in plans for key in plan.index_paths()})
+        before = pool.builds
+        pool.prebuild(keys)
+        prebuilt = pool.builds - before
+    return AuditPlan(plans=plans, pool=pool, prebuilt_indexes=prebuilt)

@@ -103,9 +103,14 @@ def filter_by_constraints(instances: Iterable[Instance],
 
     Used to reproduce Section 4.3: a transformation non-injective on the
     full family becomes injective on the constrained sub-family.
+
+    The naive path is deliberate: the family members are tiny and the
+    check short-circuits on the first violation, so per-instance audit
+    planning (and eager index prebuilds) would cost more than it saves.
     """
     return [instance for instance in instances
-            if satisfies_program(instance, constraints)]
+            if satisfies_program(instance, constraints,
+                                 use_planner=False)]
 
 
 @dataclass

@@ -140,15 +140,20 @@ class Morphase:
         return self._normalized
 
     # ------------------------------------------------------------------
-    def check_source(self, source: Instance) -> List[Violation]:
+    def check_source(self, source: Instance,
+                     use_planner: bool = True) -> List[Violation]:
         """Audit the merged source instance against source constraints.
 
         Includes schema-level key specifications: a key violation is
         reported as a violation of the corresponding identity clause.
+        The audit is planned by default (one shared prebuilt index pool
+        across all constraint clauses); ``use_planner=False`` runs the
+        naive per-clause matchers, kept as the differential oracle.
         """
         normalized = self.compile()
         violations = list(program_violations(
-            source, normalized.source_constraints, limit_per_clause=5))
+            source, normalized.source_constraints, limit_per_clause=5,
+            use_planner=use_planner))
         if self.source_keys is not None:
             for bad in key_violations(source, self.source_keys):
                 violations.append(Violation(_key_violation_clause(bad), {}))
@@ -238,15 +243,23 @@ class Morphase:
 
     # ------------------------------------------------------------------
     def audit(self, sources: Union[Instance, Sequence[Instance]],
-              target: Instance) -> List[Violation]:
+              target: Instance,
+              use_planner: bool = True) -> List[Violation]:
         """Check the original program (transformations + constraints)
         against source and target together — the definition of a
-        Tr-transformation (Section 3.2)."""
+        Tr-transformation (Section 3.2).
+
+        The whole audit is planned once by default: every clause body
+        and head-satisfiability probe is compiled into a fixed join
+        order and executed over one shared, prebuilt index pool.
+        ``use_planner=False`` is the naive per-clause oracle.
+        """
         if isinstance(sources, Instance):
             sources = [sources]
         combined = merge_instances("__audit__", list(sources) + [target])
         return list(program_violations(combined, self.program,
-                                       limit_per_clause=5))
+                                       limit_per_clause=5,
+                                       use_planner=use_planner))
 
 
 def _key_violation_clause(violation) -> Clause:

@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm,
                         Term, Var, VariantTerm)
+from ..model.values import Record, Variant
 
 #: One attribute path: a chain of attribute names.
 Path = Tuple[str, ...]
@@ -111,16 +112,57 @@ class Congruence:
         if right in self._members:
             for cname in self._members.pop(right):
                 self._add_membership(left, cname)
-        # Merge constructor definitions (injectivity).
-        if right in self._constructions:
-            app = self._constructions.pop(right)
-            self._add_construction(left, app)
-        self._check_const_clash(left)
+        # Merge constructor definitions (injectivity).  Checking *both*
+        # merged roots keeps the closure order-independent: whichever
+        # side carried the construction, it is re-anchored (and, when the
+        # surviving root is a constant, reconciled) the same way.
+        for node in (right, left):
+            if node in self._constructions and self._find(node) != node:
+                self._add_construction(node, self._constructions.pop(node))
 
-    def _check_const_clash(self, rep: _Node) -> None:
-        if rep.kind == "const" and rep in self._constructions:
-            raise Unsatisfiable(
-                f"constant {rep} equated with a constructed value")
+    def _union_changed(self, left: _Node, right: _Node) -> bool:
+        """Union returning whether the two roots were actually distinct."""
+        if self._find(left) == self._find(right):
+            return False
+        self._union(left, right)
+        return True
+
+    def _reconcile_const_construction(self, const_node: _Node,
+                                      app: _App) -> bool:
+        """A constant equated with a constructed value.
+
+        Order-independence requires this to behave identically whether
+        the construction reaches the constant via :meth:`_union` (the
+        constant becomes the representative of a constructed variable)
+        or directly in :meth:`_add_construction` (``0 = <a: X>``).  The
+        constant's *value* decides: a variant/record value with the same
+        shape decomposes (unifying the construction's arguments with the
+        value's components); anything else can never equal a constructed
+        value and is Unsatisfiable.  Returns True when any decomposition
+        merged previously distinct classes.
+        """
+        assert const_node.kind == "const"
+        value = const_node.payload[1]  # (type tag, value)
+        op, _, detail = app.op.partition(":")
+        if op == "variant" and isinstance(value, Variant):
+            if value.label != detail:
+                raise Unsatisfiable(
+                    f"constant {const_node} has variant label "
+                    f"{value.label!r}, not {detail!r}")
+            return self._union_changed(app.args[0], _const(value.value))
+        if op == "record" and isinstance(value, Record):
+            labels = tuple(detail.split(",")) if detail else ()
+            if set(labels) != set(value.labels()):
+                raise Unsatisfiable(
+                    f"constant {const_node} has record labels "
+                    f"{sorted(value.labels())}, not {sorted(labels)}")
+            changed = False
+            for label, arg in zip(labels, app.args):
+                changed |= self._union_changed(arg, _const(value.get(label)))
+            return changed
+        raise Unsatisfiable(
+            f"constant {const_node} equated with a constructed "
+            f"value ({app.op})")
 
     # ------------------------------------------------------------------
     # Node helpers
@@ -146,7 +188,12 @@ class Congruence:
 
     def _add_construction(self, rep: _Node, app: _App) -> None:
         rep = self._find(rep)
-        self._check_const_clash(rep)
+        if rep.kind == "const":
+            # Constructions are never stored under constant reps: the
+            # clash (or decomposition) happens right here, in whichever
+            # atom/argument order the constant and the construction meet.
+            self._reconcile_const_construction(rep, app)
+            return
         existing = self._constructions.get(rep)
         if existing is None:
             self._constructions[rep] = app
@@ -252,6 +299,12 @@ class Congruence:
         for rep, app in list(self._constructions.items()):
             canon_rep = self._find(rep)
             canon_app = _App(app.op, tuple(self._find(a) for a in app.args))
+            if canon_rep.kind == "const":
+                # A constructed class was merged into a constant since
+                # this entry was stored: reconcile, don't re-anchor.
+                if self._reconcile_const_construction(canon_rep, canon_app):
+                    changed = True
+                continue
             if canon_rep in constructions:
                 existing_app = constructions[canon_rep]
                 if (existing_app.op != canon_app.op

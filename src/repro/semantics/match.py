@@ -307,9 +307,16 @@ class Matcher:
         yield from self._solve(list(atoms), dict(initial or {}))
 
     def satisfiable(self, atoms: Sequence[Atom],
-                    initial: Optional[Binding] = None) -> bool:
-        """True iff at least one satisfying binding exists."""
-        for _ in self.solutions(atoms, initial):
+                    initial: Optional[Binding] = None,
+                    plan: Optional[Sequence[PlanStep]] = None) -> bool:
+        """True iff at least one satisfying binding exists.
+
+        With ``plan`` (a precompiled step order whose ``initial_bound``
+        matches ``initial``'s variables — the constraint auditor's head
+        probe), the search runs the fixed order; mismatches fall back to
+        the dynamic order via :meth:`solutions`.
+        """
+        for _ in self.solutions(atoms, initial, plan=plan):
             return True
         return False
 
@@ -581,9 +588,14 @@ class Matcher:
                 selector = step.selector_term
                 if isinstance(selector, Var):
                     value = binding.get(selector.name)
-                else:
-                    assert isinstance(selector, Const)
+                elif isinstance(selector, Const):
                     value = selector.value
+                else:
+                    # Constraint plans select on projection chains
+                    # (``X.a.b = Y.a.b``); evaluate under the binding.
+                    # An EvalError means no object can pass the equality
+                    # test either, so the empty candidate set is exact.
+                    value = self._try_eval(selector, binding)
                 if value is None:
                     candidates: Sequence[Oid] = ()
                 else:

@@ -48,8 +48,22 @@ def merge_instances(name: str, instances: Sequence[Instance]) -> Instance:
     """Union several instances over the merged schema.
 
     Class names must be disjoint across the inputs (use distinct schemas per
-    database, as the paper does).
+    database, as the paper does).  A duplicated class would silently lose
+    one input's objects to the other's, so the collision is detected here
+    and raised as :class:`~repro.model.instance.InstanceError` *before*
+    any valuation is assembled — the schema-level check alone reports
+    schema names, which are often both auto-generated (``__source__``).
     """
+    seen: Dict[str, int] = {}
+    for position, inst in enumerate(instances):
+        for cname in inst.schema.class_names():
+            if cname in seen:
+                raise InstanceError(
+                    f"cannot merge instances {name!r}: class {cname!r} "
+                    f"appears in both instance #{seen[cname]} and "
+                    f"instance #{position} (class names must be disjoint; "
+                    f"merging would overwrite one side's objects)")
+            seen[cname] = position
     schema = merge_schemas(name, [inst.schema for inst in instances])
     valuations: Dict[str, Dict[Oid, Value]] = {}
     for inst in instances:
@@ -59,17 +73,35 @@ def merge_instances(name: str, instances: Sequence[Instance]) -> Instance:
 
 
 def clause_violations(instance: Instance, clause: Clause,
-                      limit: Optional[int] = None) -> List[Violation]:
-    """Counterexamples to ``clause`` in ``instance`` (up to ``limit``)."""
-    matcher = Matcher(instance)
+                      limit: Optional[int] = None,
+                      matcher: Optional[Matcher] = None,
+                      plan=None) -> List[Violation]:
+    """Counterexamples to ``clause`` in ``instance`` (up to ``limit``).
+
+    ``matcher`` injects a shared matcher (and with it a shared
+    :class:`~repro.semantics.match.IndexPool`); by default the clause
+    gets a private one with lazy indexes — the naive path, kept as the
+    differential oracle for the planned audit.  ``plan`` supplies a
+    :class:`~repro.engine.planner.ConstraintPlan`: the body enumeration
+    and the per-solution head-satisfiability probe then run their
+    precompiled step orders instead of re-deriving atom readiness for
+    every partial binding.  Planned and naive runs report the same
+    violations (differential tests in ``tests/constraints`` enforce it).
+    """
+    matcher = matcher if matcher is not None else Matcher(instance)
     body_vars = frozenset().union(
         *(atom.variables() for atom in clause.body)) if clause.body else frozenset()
+    body_steps = plan.body.steps if (
+        plan is not None and plan.body is not None) else None
+    head_steps = plan.head.steps if (
+        plan is not None and plan.head is not None) else None
     violations: List[Violation] = []
-    for body_binding in matcher.solutions(clause.body):
+    for body_binding in matcher.solutions(clause.body, plan=body_steps):
         # Project to body variables: head checking re-derives the rest.
         projected = {name: value for name, value in body_binding.items()
                      if name in body_vars}
-        if not matcher.satisfiable(clause.head, projected):
+        if not matcher.satisfiable(clause.head, projected,
+                                   plan=head_steps):
             violations.append(Violation(clause, projected))
             if limit is not None and len(violations) >= limit:
                 return violations
@@ -82,17 +114,54 @@ def satisfies_clause(instance: Instance, clause: Clause) -> bool:
 
 
 def program_violations(instance: Instance, program: Iterable[Clause],
-                       limit_per_clause: Optional[int] = None
-                       ) -> List[Violation]:
-    """All violations of all clauses (constraint audit)."""
+                       limit_per_clause: Optional[int] = None,
+                       use_planner: bool = True,
+                       plan=None) -> List[Violation]:
+    """All violations of all clauses (constraint audit).
+
+    By default the whole audit is *planned*: every clause's body and
+    head probe are compiled once by :func:`repro.engine.planner.plan_audit`
+    and executed over one shared, prebuilt :class:`IndexPool` instead of
+    a fresh matcher (with private lazy indexes) per clause.
+    ``use_planner=False`` forces that naive per-clause path — the
+    differential oracle.  ``plan`` injects a precomputed
+    :class:`~repro.engine.planner.AuditPlan` (e.g. to amortise planning
+    and index builds across repeated audits of one instance).
+    """
+    clauses = list(program)
+    audit_plan = plan
+    if audit_plan is not None and audit_plan.pool.instance is not instance:
+        raise ValueError(
+            "injected audit plan was built for a different instance; "
+            "its indexes would silently produce wrong violation sets "
+            "(re-plan with plan_audit against this instance)")
+    if audit_plan is None and use_planner:
+        from ..engine.planner import plan_audit
+        audit_plan = plan_audit(clauses, instance)
     violations: List[Violation] = []
-    for clause in program:
-        violations.extend(
-            clause_violations(instance, clause, limit_per_clause))
+    if audit_plan is None:
+        for clause in clauses:
+            violations.extend(
+                clause_violations(instance, clause, limit_per_clause))
+        return violations
+    matcher = Matcher(instance, index_pool=audit_plan.pool)
+    for index, clause in enumerate(clauses):
+        # Plans align with the clause sequence; an injected plan built
+        # from a different sequence is matched by clause instead.
+        if (index < len(audit_plan.plans)
+                and audit_plan.plans[index].clause is clause):
+            clause_plan = audit_plan.plans[index]
+        else:
+            clause_plan = audit_plan.plan_for(clause)
+        violations.extend(clause_violations(
+            instance, clause, limit_per_clause, matcher=matcher,
+            plan=clause_plan))
     return violations
 
 
 def satisfies_program(instance: Instance,
-                      program: Iterable[Clause]) -> bool:
+                      program: Iterable[Clause],
+                      use_planner: bool = True) -> bool:
     """True iff every clause is satisfied."""
-    return not program_violations(instance, program, limit_per_clause=1)
+    return not program_violations(instance, program, limit_per_clause=1,
+                                  use_planner=use_planner)

@@ -117,6 +117,18 @@ def warehouse_schema() -> KeyedSchema:
     return parse_schema(WAREHOUSE_SCHEMA_TEXT)
 
 
+def warehouse_constraints() -> List:
+    """The warehouse's constraint library, as WOL clauses.
+
+    Keys for every keyed class plus referential inclusion dependencies
+    (``CloneT.seq`` and both ``SeqGene`` legs), derived from the schema —
+    the audit workload for the planned constraint engine (transformed
+    warehouses satisfy all of them; corrupted ones pinpoint violations).
+    """
+    from ..constraints.library import schema_constraints
+    return schema_constraints(warehouse_schema())
+
+
 def genome_program() -> Program:
     from ..adapters.acedb import schema_of_acedb
     source = schema_of_acedb(AceDatabase("ACe22", ACE_CLASSES))

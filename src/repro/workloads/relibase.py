@@ -106,6 +106,27 @@ def relibase_schema() -> KeyedSchema:
     return parse_schema(RELIBASE_SCHEMA_TEXT)
 
 
+def relibase_constraints() -> List:
+    """The ReLiBase object model's constraint library, as WOL clauses.
+
+    Keys, inclusion and containment dependencies derived from the
+    ReLiBase schema (Protein/Structure/Ligand/Complex), plus the
+    structures/protein inverse: every structure appears in its
+    protein's set-valued ``structures`` attribute (which the RS
+    transformation maintains by construction).
+    """
+    from ..constraints.library import schema_constraints
+    from ..lang.ast import (Clause, EqAtom, InAtom, KIND_CONSTRAINT,
+                            MemberAtom, Proj, Var)
+    clauses = schema_constraints(relibase_schema())
+    clauses.append(Clause(
+        (InAtom(Var("S"), Proj(Var("P"), "structures")),),
+        (MemberAtom(Var("S"), "Structure"),
+         EqAtom(Var("P"), Proj(Var("S"), "protein"))),
+        name="inv_Structure_protein", kind=KIND_CONSTRAINT))
+    return clauses
+
+
 def warehouse_program() -> Program:
     classes = (swissprot_schema().schema.class_names()
                + pdb_schema().schema.class_names()

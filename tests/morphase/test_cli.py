@@ -108,6 +108,24 @@ class TestCheck:
         assert code == 0
         assert "satisfied" in capsys.readouterr().out
 
+    def test_stats_and_no_planner(self, workspace, capsys):
+        (workspace / "constraints.wol").write_text(
+            "C4: Y in CityE, Y.country = X, Y.is_capital = true"
+            " <= X in CountryE;")
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/euro.json", "--stats")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stats:" in out and "planned bodies" in out
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/euro.json", "--stats", "--no-planner")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 planned bodies" in out
+        assert "satisfied" in out
+
     def test_violations_reported(self, workspace, capsys):
         builder = cities.sample_euro_instance().builder()
         builder.new("CountryE", Record.of(

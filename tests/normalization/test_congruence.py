@@ -173,3 +173,77 @@ class TestKeyMerging:
                  " C = Y.currency"),
             keys)
         assert congruence.same(Var("X"), Var("Y"))
+
+
+class TestConstConstructedOrderIndependence:
+    """Regression pins for the Hypothesis falsifiers: const-vs-constructed
+    clash detection must fire in *every* atom/argument order."""
+
+    def test_const_equals_variant_both_atom_orders(self):
+        # Falsifier #1: X in CityE, 0 = <a: X> — Unsatisfiable no matter
+        # where the membership atom sits.
+        from repro.lang.ast import EqAtom, MemberAtom, VariantTerm
+        member = MemberAtom(Var("X"), "CityE")
+        clash = EqAtom(Const(0), VariantTerm("a", Var("X")))
+        for atoms in ([member, clash], [clash, member]):
+            with pytest.raises(Unsatisfiable):
+                congruence_of(atoms)
+
+    def test_const_meets_construction_in_either_union_order(self):
+        # Falsifier #2: X = 0, X = <a: Y> — whichever side of the union
+        # carries the construction when the constant becomes the root.
+        from repro.lang.ast import EqAtom, VariantTerm
+        to_const = EqAtom(Var("X"), Const(0))
+        to_variant = EqAtom(Var("X"), VariantTerm("a", Var("Y")))
+        for atoms in ([to_const, to_variant], [to_variant, to_const]):
+            with pytest.raises(Unsatisfiable):
+                congruence_of(atoms)
+
+    def test_variant_constant_decomposes_instead_of_clashing(self):
+        # A *variant-valued* constant is not a clash: the construction
+        # decomposes against it, binding the payload — in both orders.
+        from repro.lang.ast import EqAtom, VariantTerm
+        from repro.model.values import Variant
+        decompose = EqAtom(Const(Variant("a", 7)), VariantTerm("a", Var("X")))
+        payload = EqAtom(Var("X"), Const(7))
+        for atoms in ([decompose], [decompose, payload],
+                      [payload, decompose]):
+            congruence = congruence_of(atoms)
+            assert congruence.representative(Var("X")) == Const(7)
+
+    def test_variant_constant_label_mismatch(self):
+        from repro.lang.ast import EqAtom, VariantTerm
+        from repro.model.values import Variant
+        with pytest.raises(Unsatisfiable):
+            congruence_of(
+                [EqAtom(Const(Variant("b", 7)), VariantTerm("a", Var("X")))])
+
+    def test_variant_constant_payload_clash_through_union(self):
+        from repro.lang.ast import EqAtom, VariantTerm
+        from repro.model.values import Variant
+        decompose = EqAtom(Const(Variant("a", 7)), VariantTerm("a", Var("X")))
+        other = EqAtom(Var("X"), Const(8))
+        for atoms in ([decompose, other], [other, decompose]):
+            with pytest.raises(Unsatisfiable):
+                congruence_of(atoms)
+
+    def test_record_constant_decomposes_fieldwise(self):
+        from repro.lang.ast import EqAtom, RecordTerm
+        from repro.model.values import Record
+        term = RecordTerm((("a", Var("X")), ("b", Var("Y"))))
+        constant = Const(Record((("a", 1), ("b", 2))))
+        for atoms in ([EqAtom(constant, term)],
+                      [EqAtom(Var("Z"), term), EqAtom(Var("Z"), constant)],
+                      [EqAtom(Var("Z"), constant), EqAtom(Var("Z"), term)]):
+            congruence = congruence_of(atoms)
+            assert congruence.representative(Var("X")) == Const(1)
+            assert congruence.representative(Var("Y")) == Const(2)
+
+    def test_scalar_constant_never_equals_record(self):
+        from repro.lang.ast import EqAtom, RecordTerm
+        term = RecordTerm((("a", Var("X")),))
+        first = EqAtom(Var("Z"), term)
+        second = EqAtom(Var("Z"), Const("scalar"))
+        for atoms in ([first, second], [second, first]):
+            with pytest.raises(Unsatisfiable):
+                congruence_of(atoms)

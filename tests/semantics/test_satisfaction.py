@@ -97,6 +97,20 @@ class TestMergeInstances:
         assert merged.size() == us.size() + euro.size()
         merged.validate()
 
+    def test_duplicate_class_rejected(self, euro):
+        # Class names must be disjoint: a silent merge would overwrite
+        # one input's objects with the other's.
+        from repro.model.instance import InstanceError
+        with pytest.raises(InstanceError,
+                           match="instance #0 and instance #1"):
+            merge_instances("Both", [euro, sample_euro_instance()])
+
+    def test_duplicate_class_error_names_both_instances(self, euro):
+        from repro.model.instance import InstanceError
+        us = sample_us_instance()
+        with pytest.raises(InstanceError, match="instance #1.*instance #2"):
+            merge_instances("Both", [us, euro, sample_euro_instance()])
+
     def test_cross_database_clause(self, euro):
         us = sample_us_instance()
         merged = merge_instances("Both", [us, euro])
