@@ -8,7 +8,6 @@ A2 — join-ordering heuristic in the conjunctive matcher (tests before
 generators) on/off: identical results, different search cost.
 """
 
-import pytest
 from conftest import best_of, print_table
 
 from repro.morphase import Morphase
@@ -29,7 +28,8 @@ def _sources():
             cities.generate_euro_instance(30, 4, seed=9)]
 
 
-def test_a1_optimisation_shrinks_programs_and_speeds_execution(benchmark):
+def test_a1_optimisation_shrinks_programs_and_speeds_execution(
+        bench_report, benchmark):
     optimised = _morphase()
     raw = _morphase(use_constraints=False, simplify=False)
     opt_norm = optimised.compile()
@@ -49,6 +49,11 @@ def test_a1_optimisation_shrinks_programs_and_speeds_execution(benchmark):
          ("raw", raw_norm.report.normal_clauses,
           raw_norm.report.normal_size, round(raw_time * 1000, 1))])
 
+    bench_report.record(
+        "optimisation_on_vs_off",
+        optimised_ms=round(opt_time * 1000, 3),
+        raw_ms=round(raw_time * 1000, 3),
+        speedup=round(raw_time / opt_time, 2))
     # Same answer either way...
     assert opt_result.target.valuations == raw_result.target.valuations
     # ...but the optimised program is smaller and faster.

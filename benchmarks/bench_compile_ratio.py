@@ -47,7 +47,7 @@ def _series():
     return rows
 
 
-def test_compile_ratio_shape(benchmark):
+def test_compile_ratio_shape(bench_report, benchmark):
     """The non-normalised/normalised compile ratio is a small factor > 1."""
     rows = _series()
     print_table(
@@ -59,6 +59,10 @@ def test_compile_ratio_shape(benchmark):
     # never orders of magnitude.
     assert all(1.5 <= ratio <= 20 for ratio in ratios), ratios
     benchmark.extra_info["ratios"] = ratios
+    for width, raw_ms, base_ms, ratio in rows:
+        bench_report.record(f"width_{width}", sizes=dict(width=width),
+                            non_normalised_ms=raw_ms,
+                            normalised_ms=base_ms, ratio=ratio)
 
     source, target = synthetic.wide_schemas(12)
     program = synthetic.wide_program(12)

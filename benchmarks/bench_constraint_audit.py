@@ -56,7 +56,7 @@ def relibase_target():
     return m.transform([sp, pdb]).target
 
 
-def test_audit_speedup_genome(genome_target, benchmark):
+def test_audit_speedup_genome(genome_target, bench_report, benchmark):
     """Planned audit beats naive by >= 1.5x; violation sets identical."""
     constraints = genome.warehouse_constraints()
     naive, naive_time = best_of(
@@ -86,6 +86,13 @@ def test_audit_speedup_genome(genome_target, benchmark):
           f"{planned.planned_bodies}/{planned.planned_heads}"),
          ("speedup", f"{speedup:.2f}x", "", "", "")])
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    bench_report.record(
+        "genome_warehouse",
+        sizes=dict(objects=genome_target.size()),
+        naive_ms=round(naive_time * 1000, 3),
+        planned_ms=round(planned_time * 1000, 3),
+        speedup=round(speedup, 2), metric="speedup",
+        floor=SPEEDUP_FLOOR)
     assert speedup >= SPEEDUP_FLOOR, (
         f"planned audit only {speedup:.2f}x faster (< {SPEEDUP_FLOOR}x)")
 
@@ -120,7 +127,7 @@ def test_audit_differential_on_violations(genome_target, benchmark):
                                         limit_per_clause=None))
 
 
-def test_audit_speedup_relibase(relibase_target, benchmark):
+def test_audit_speedup_relibase(relibase_target, bench_report, benchmark):
     """The ReLiBase library (keys + inclusions + inverse) speeds up too."""
     constraints = relibase.relibase_constraints()
     naive, naive_time = best_of(
@@ -141,6 +148,13 @@ def test_audit_speedup_relibase(relibase_target, benchmark):
          ("planned", round(planned_time * 1000, 1)),
          ("speedup", f"{speedup:.2f}x")])
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    bench_report.record(
+        "relibase",
+        sizes=dict(objects=relibase_target.size()),
+        naive_ms=round(naive_time * 1000, 3),
+        planned_ms=round(planned_time * 1000, 3),
+        speedup=round(speedup, 2), metric="speedup",
+        floor=SPEEDUP_FLOOR)
     assert speedup >= SPEEDUP_FLOOR
 
     benchmark(lambda: audit_constraints(relibase_target, constraints,

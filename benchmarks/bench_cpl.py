@@ -46,7 +46,8 @@ def test_cpl_equals_direct(setup, benchmark):
     assert target.valuations == direct.valuations
 
 
-def test_backend_overhead_is_constant_factor(setup, benchmark):
+def test_backend_overhead_is_constant_factor(setup, bench_report,
+                                              benchmark):
     morphase, _, sources = setup
     _, direct_time = best_of(
         lambda: morphase.transform(sources, backend="direct"),
@@ -58,6 +59,9 @@ def test_backend_overhead_is_constant_factor(setup, benchmark):
                 ("backend", "ms"),
                 [("direct", round(direct_time * 1000, 1)),
                  ("cpl", round(cpl_time * 1000, 1))])
+    bench_report.record("direct_vs_cpl",
+                        direct_ms=round(direct_time * 1000, 3),
+                        cpl_ms=round(cpl_time * 1000, 3))
     # Same asymptotics: the interpreter costs a constant factor, not a
     # different complexity class.
     assert cpl_time < direct_time * 25

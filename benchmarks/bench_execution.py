@@ -85,7 +85,7 @@ def test_execution_statistics(morphase, benchmark):
     assert stats.clauses_planned == stats.clauses_run
 
 
-def test_planner_on_vs_off(morphase, benchmark):
+def test_planner_on_vs_off(morphase, bench_report, benchmark):
     """Head-to-head at one size; identical targets either way."""
     sources = _sources(60)
     naive, naive_time = best_of(
@@ -100,4 +100,9 @@ def test_planner_on_vs_off(morphase, benchmark):
                 [("naive", round(naive_time * 1000, 1)),
                  ("planned", round(planned_time * 1000, 1))])
     benchmark.extra_info["speedup"] = round(naive_time / planned_time, 2)
+    bench_report.record(
+        "cities_60",
+        naive_ms=round(naive_time * 1000, 3),
+        planned_ms=round(planned_time * 1000, 3),
+        speedup=round(naive_time / planned_time, 2))
     benchmark(lambda: morphase.transform(sources, use_planner=True))

@@ -41,7 +41,7 @@ def _series():
     return rows
 
 
-def test_exponential_without_constraints(benchmark):
+def test_exponential_without_constraints(bench_report, benchmark):
     rows = _series()
     print_table(
         "E4: normal-form size/time, with vs without constraints",
@@ -62,6 +62,11 @@ def test_exponential_without_constraints(benchmark):
     assert gaps[-1] > 100
 
     benchmark.extra_info["clauses_without"] = [r[2] for r in rows]
+    for row in rows:
+        bench_report.record(
+            f"width_{row[0]}", sizes=dict(width=row[0]),
+            clauses_with=row[1], clauses_without=row[2],
+            with_ms=row[5], without_ms=row[6])
     benchmark(lambda: _compile(4, True))
 
 

@@ -62,7 +62,7 @@ def test_sparsity_sweep(morphase, benchmark):
     benchmark(lambda: _full_pass(morphase, database))
 
 
-def test_pipeline_scaling(morphase, benchmark):
+def test_pipeline_scaling(morphase, bench_report, benchmark):
     times = {}
     rows = []
     for clones in (50, 100, 200):
@@ -76,6 +76,11 @@ def test_pipeline_scaling(morphase, benchmark):
     print_table("E7: pipeline time vs source size",
                 ("clones", "warehouse objs", "ms"), rows)
     assert times[200] / times[50] < 16  # linear-ish, not quadratic
+    for clones, warehouse_objs, ms in rows:
+        bench_report.record(
+            f"clones_{clones}",
+            sizes=dict(clones=clones, warehouse=warehouse_objs),
+            pipeline_ms=ms)
 
     database = genome.generate_acedb(20, 50, 100, sparsity=0.9, seed=8)
     benchmark(lambda: _full_pass(morphase, database))

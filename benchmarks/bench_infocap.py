@@ -34,7 +34,8 @@ def _family():
     ]
 
 
-def test_preservation_under_constraints(morphase, benchmark):
+def test_preservation_under_constraints(morphase, bench_report,
+                                        benchmark):
     constraints = morphase.compile().source_constraints
 
     def transform(instance):
@@ -54,3 +55,8 @@ def test_preservation_under_constraints(morphase, benchmark):
     assert not report.unconstrained.injective
     assert report.constrained.injective
     assert report.constrained_count < report.total_count
+    bench_report.record(
+        "injectivity",
+        instances=report.total_count,
+        constrained_instances=report.constrained_count,
+        constrained_injective=report.constrained.injective)

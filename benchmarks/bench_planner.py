@@ -43,7 +43,8 @@ def genome_source():
     return genome.source_instance(genome.generate_acedb(**GENOME_SIZE))
 
 
-def test_planner_speedup_genome(genome_morphase, genome_source, benchmark):
+def test_planner_speedup_genome(genome_morphase, genome_source,
+                                bench_report, benchmark):
     """Planned execution beats naive by >= 1.5x; targets are identical."""
     naive_result, naive_time = best_of(
         lambda: genome_morphase.transform(genome_source,
@@ -72,6 +73,13 @@ def test_planner_speedup_genome(genome_morphase, genome_source, benchmark):
           indexes, stats.atoms_reordered),
          ("speedup", f"{speedup:.2f}x", "", "", "")])
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    bench_report.record(
+        "genome_default",
+        sizes=dict(objects=genome_source.size()),
+        naive_ms=round(naive_time * 1000, 3),
+        planned_ms=round(planned_time * 1000, 3),
+        speedup=round(speedup, 2), metric="speedup",
+        floor=SPEEDUP_FLOOR)
     assert speedup >= SPEEDUP_FLOOR, (
         f"planned path only {speedup:.2f}x faster (< {SPEEDUP_FLOOR}x)")
 

@@ -20,7 +20,7 @@ def morphase():
     return m
 
 
-def test_warehouse_build_scaling(morphase, benchmark):
+def test_warehouse_build_scaling(morphase, bench_report, benchmark):
     rows = []
     times = {}
     for proteins in (25, 50, 100):
@@ -36,6 +36,12 @@ def test_warehouse_build_scaling(morphase, benchmark):
                 ("proteins", "structures", "complexes", "ms"), rows)
     # Linear-ish growth: 4x the proteins well under 16x the time.
     assert times[100] / times[25] < 12
+    for proteins, structures, complexes, ms in rows:
+        bench_report.record(
+            f"proteins_{proteins}",
+            sizes=dict(proteins=proteins, structures=structures,
+                       complexes=complexes),
+            build_ms=ms)
 
     sp, pdb = relibase.generate_sources(50, 3, 25, 100, seed=3)
     benchmark(lambda: morphase.transform([sp, pdb]))

@@ -3,11 +3,23 @@
 Every benchmark prints the paper-shaped series it reproduces (run pytest
 with ``-s`` to see them) and records the headline numbers in
 ``benchmark.extra_info`` so they land in pytest-benchmark's JSON output.
+
+Each benchmark module also gets a :class:`BenchReport` (the
+``bench_report`` fixture): rows recorded through it are written to
+``BENCH_<name>.json`` at the repository root when the module finishes —
+the machine-readable perf trajectory.  CI uploads these as artifacts
+and ``benchmarks/check_floors.py`` fails the build when a row's
+metric drops below the floor recorded next to it.
 """
 
+import json
+import os
 import time
 
 import pytest
+
+#: Repository root (benchmarks/..) — where BENCH_*.json files land.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def best_of(callable_, repetitions=3):
@@ -33,3 +45,46 @@ def print_table(title, header, rows):
     for row in rows:
         print("  ".join(str(cell).ljust(widths[i])
                         for i, cell in enumerate(row)))
+
+
+class BenchReport:
+    """Collects one benchmark module's machine-readable results.
+
+    ``record(label, **fields)`` appends a row; pass ``floor=<number>``
+    together with the guarded metric (by convention ``speedup``) to
+    declare a regression floor — ``check_floors.py`` compares the two.
+    The file is written on module teardown as ``BENCH_<name>.json``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.series = []
+
+    def record(self, label: str, **fields) -> None:
+        row = {"label": label}
+        row.update(fields)
+        self.series.append(row)
+
+    def path(self) -> str:
+        return os.path.join(REPO_ROOT, f"BENCH_{self.name}.json")
+
+    def write(self) -> None:
+        if not self.series:
+            return
+        document = {
+            "benchmark": self.name,
+            "series": self.series,
+        }
+        with open(self.path(), "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"\n[bench] wrote {self.path()}")
+
+
+@pytest.fixture(scope="module")
+def bench_report(request):
+    name = request.module.__name__
+    if name.startswith("bench_"):
+        name = name[len("bench_"):]
+    report = BenchReport(name)
+    yield report
+    report.write()

@@ -20,13 +20,13 @@ This substrate models the essentials:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..model.instance import Instance, InstanceBuilder
 from ..model.keys import KeySpec, KeyedSchema, attribute_key
 from ..model.schema import Schema
-from ..model.types import (BOOL, FLOAT, INT, STR, BaseType, ClassType,
-                           RecordType, SetType, Type)
+from ..model.types import (
+    BOOL, FLOAT, INT, STR, ClassType, RecordType, SetType, Type)
 from ..model.values import Oid, Record, Value, WolSet
 
 ScalarTag = Union[int, str, bool, float]

@@ -17,8 +17,8 @@ it is the target substrate of the genome-warehouse experiment (E7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..model.instance import Instance, InstanceBuilder
 from ..model.keys import KeySpec, KeyedSchema, attribute_key, attributes_key

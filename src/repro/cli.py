@@ -29,20 +29,35 @@ Subcommands::
         Print the execution plan (per-clause join orders, shared
         indexes) the planner would use for these instances.
 
+    python -m repro apply-delta --source us.schema --target target.schema \\
+                                program.wol --data us.json \\
+                                --delta delta.json --out target.json \\
+                                [--json] [--stats]
+        Incrementally propagate a source delta: run the transformation
+        once, apply the delta JSON with semi-naive delta joins, write
+        the *updated* target, and report the source-constraint
+        violation diff (new violations from inserts, retracted ones
+        from deletes).  ``--json`` emits the whole report as JSON.
+
 Schema files use the textual schema language; ``program.wol`` is WOL
 concrete syntax; instances are the JSON interchange format of
-:mod:`repro.io`.  ``transform`` runs the planned execution path by
-default; ``--no-planner`` forces the naive per-clause path and
-``--stats`` prints the executor/planner counters.
+:mod:`repro.io` and deltas that of
+:mod:`repro.evolution.delta`.  ``transform`` runs the planned execution
+path by default; ``--no-planner`` forces the naive per-clause path and
+``--stats`` prints the executor/planner counters.  ``check`` and
+``apply-delta`` accept ``--json`` for machine-readable reports (CI and
+external tools consume these without scraping text).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .constraints.audit import audit_constraints
+from .evolution.delta import load_delta
 from .io.json_io import dump_instance, load_instance
 from .lang.parser import parse_program
 from .lang.pretty import format_program
@@ -136,6 +151,9 @@ def _cmd_check(args) -> int:
               else merge_instances("__check__", instances))
     report = audit_constraints(merged, list(program), limit_per_clause=10,
                                use_planner=not args.no_planner)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
     if args.stats:
         print(report.stats_line())
     if not report.ok:
@@ -147,6 +165,85 @@ def _cmd_check(args) -> int:
         return 1
     print(f"all {report.checked} clauses satisfied")
     return 0
+
+
+def _cmd_apply_delta(args) -> int:
+    morphase = _build_morphase(args)
+    # Capture the dump-label -> oid mapping at load time: loaded
+    # anonymous objects get fresh serials, so the labels a delta file
+    # uses cannot be reconstructed from the instances afterwards.
+    labels = {}
+    instances = [load_instance(path, labels=labels)
+                 for path in args.data]
+    merged = (instances[0] if len(instances) == 1
+              else merge_instances("__delta__", instances))
+    delta = load_delta(args.delta, merged, labels=labels)
+    transform_state = morphase.begin_incremental(instances)
+    audit_state = morphase.begin_incremental_audit(instances)
+    violations_before = len(audit_state.violations())
+    result = morphase.apply_delta(transform_state, delta)
+    audit_diff = morphase.audit_delta(audit_state, delta)
+    dump_instance(result.target, args.out)
+    stats = result.stats
+    if args.json:
+        document = {
+            "delta": {
+                "inserts": sum(len(objs)
+                               for objs in delta.inserts.values()),
+                "updates": sum(len(objs)
+                               for objs in delta.updates.values()),
+                "deletes": sum(len(oids)
+                               for oids in delta.deletes.values()),
+                "classes": sorted(delta.classes()),
+            },
+            "target": {
+                "path": args.out,
+                "classes": result.target.class_sizes(),
+            },
+            "violations": {
+                "added": [str(v) for v in audit_diff.added],
+                "removed": [str(v) for v in audit_diff.removed],
+                "remaining": len(audit_diff.violations),
+            },
+            "stats": {
+                "delta_size": stats.delta_size,
+                "seeds_probed": stats.seeds_probed,
+                "bindings_removed": stats.bindings_removed,
+                "bindings_added": stats.bindings_added,
+                "clauses_skipped": stats.clauses_skipped,
+                "clauses_seeded": stats.clauses_seeded,
+                "clauses_recomputed": stats.clauses_recomputed,
+                "indexes_maintained": stats.indexes_maintained,
+                "indexes_rebuilt": stats.indexes_rebuilt,
+                "target_objects_touched": stats.target_objects_touched,
+                "elapsed_ms": round(stats.elapsed_seconds * 1000, 3),
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if not audit_diff.violations else 1
+    sizes = ", ".join(f"{cname}={count}" for cname, count in
+                      sorted(result.target.class_sizes().items()))
+    print(f"{delta.summary()}")
+    print(f"wrote {args.out}: {sizes}")
+    if args.stats:
+        print(f"stats: {stats.clauses_seeded} clauses seeded "
+              f"({stats.clauses_skipped} untouched, "
+              f"{stats.clauses_recomputed} recomputed), "
+              f"{stats.seeds_probed} seeds, "
+              f"-{stats.bindings_removed}/+{stats.bindings_added} "
+              f"bindings, {stats.target_objects_touched} target objects "
+              f"touched, {stats.indexes_maintained} indexes maintained "
+              f"({stats.indexes_rebuilt} rebuilt), "
+              f"{stats.elapsed_seconds * 1000:.1f} ms")
+    for violation in audit_diff.added:
+        print(f"  + {violation}")
+    for violation in audit_diff.removed:
+        print(f"  - {violation}")
+    remaining = len(audit_diff.violations)
+    print(f"violations: {violations_before} -> {remaining} "
+          f"(+{len(audit_diff.added)} new, "
+          f"-{len(audit_diff.removed)} retracted)")
+    return 0 if not remaining else 1
 
 
 def _cmd_plan(args) -> int:
@@ -173,8 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p = sub.add_parser("plan",
                             help="print the execution plan for a program "
                                  "over instances")
+    delta_p = sub.add_parser("apply-delta",
+                             help="incrementally propagate a source delta "
+                                  "through a transformation")
 
-    for p in (compile_p, transform_p, plan_p):
+    for p in (compile_p, transform_p, plan_p, delta_p):
         p.add_argument("--source", action="append", required=True,
                        help="source schema file (repeatable)")
         p.add_argument("--target", required=True,
@@ -206,13 +306,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-clause matchers)")
     check_p.add_argument("--stats", action="store_true",
                          help="print audit planner/index statistics")
+    check_p.add_argument("--json", action="store_true",
+                         help="emit the violation report as JSON")
     plan_p.add_argument("--data", action="append", required=True,
                         help="source instance JSON (repeatable)")
+    delta_p.add_argument("--data", action="append", required=True,
+                         help="base source instance JSON (repeatable)")
+    delta_p.add_argument("--delta", required=True,
+                         help="delta JSON file to apply")
+    delta_p.add_argument("--out", required=True,
+                         help="updated target instance JSON to write")
+    delta_p.add_argument("--stats", action="store_true",
+                         help="print incremental propagation statistics")
+    delta_p.add_argument("--json", action="store_true",
+                         help="emit the whole delta report as JSON")
 
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)
     check_p.set_defaults(func=_cmd_check)
     plan_p.set_defaults(func=_cmd_plan)
+    delta_p.set_defaults(func=_cmd_apply_delta)
     return parser
 
 

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..engine.planner import AuditPlan, plan_audit
 from ..lang.ast import Clause
 from ..model.instance import Instance
-from ..semantics.match import IndexPool, Matcher
+from ..semantics.match import Matcher
 from ..semantics.satisfaction import Violation, clause_violations
 
 
@@ -69,6 +69,25 @@ class ConstraintReport:
                 f"{self.index_lookups} scans avoided "
                 f"({self.index_hits} hits / {self.index_misses} misses), "
                 f"{self.elapsed_seconds * 1000:.1f} ms")
+
+    def to_json(self) -> Dict:
+        """A machine-readable report (the CLI's ``check --json``)."""
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "violations": {name: [str(violation) for violation in found]
+                           for name, found in sorted(self.violations.items())},
+            "stats": {
+                "planned_bodies": self.planned_bodies,
+                "planned_heads": self.planned_heads,
+                "prebuilt_indexes": self.prebuilt_indexes,
+                "indexes_built": self.indexes_built,
+                "index_lookups": self.index_lookups,
+                "index_hits": self.index_hits,
+                "index_misses": self.index_misses,
+                "elapsed_ms": round(self.elapsed_seconds * 1000, 3),
+            },
+        }
 
     def summary(self) -> str:
         if self.ok:

@@ -14,7 +14,7 @@ with the normaliser's recognisers.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..lang.ast import (Clause, EqAtom, InAtom, KIND_CONSTRAINT, MemberAtom,
                         Proj, Term, Var)

@@ -9,16 +9,17 @@ conflicts are errors, set-valued attributes accumulate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Sequence, Set
 
 from ..model.instance import Instance, InstanceBuilder, InstanceError
 from ..model.schema import Schema
 from ..model.types import RecordType, SetType
 from ..model.values import (Oid, Record, Value, Variant, WolList, WolSet,
                             format_value)
-from .ast import (CplProgram, EBinOp, EConst, EExtent, EField, EIsVariant,
-                  EMkOid, ERecord, EVar, EVariant, EVariantPayload, Expr,
-                  Filter, Generator, Insert, LetBind, Qualifier)
+from .ast import (
+    CplProgram, EBinOp, EConst, EExtent, EField, EIsVariant, EMkOid, ERecord,
+    EVar, EVariant, EVariantPayload, Expr, Filter, Generator, LetBind,
+    Qualifier)
 
 
 class CplRuntimeError(Exception):

@@ -34,10 +34,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from ..lang.ast import (Atom, Clause, EqAtom, InAtom, MemberAtom, Program,
-                        Proj, SkolemTerm, Term, Var)
+from ..lang.ast import (
+    Clause, EqAtom, InAtom, MemberAtom, Program, Proj, SkolemTerm, Term, Var)
 from ..model.instance import Instance, InstanceBuilder, InstanceError
 from ..model.schema import Schema
 from ..model.types import RecordType, SetType
@@ -49,6 +49,18 @@ from .planner import JoinPlan, ProgramPlan, plan_program
 
 class ExecutionError(Exception):
     """Raised on conflicting or ill-formed inserts."""
+
+
+#: Primitive head-effect kinds (the unit of incremental maintenance).
+EFFECT_CREATE = "create"
+EFFECT_SET = "set"
+EFFECT_INSERT = "insert"
+
+#: One primitive consequence of a clause firing:
+#: ``(EFFECT_CREATE, oid)``, ``(EFFECT_SET, oid, attr, value)`` or
+#: ``(EFFECT_INSERT, oid, attr, element)``.  Effects are hashable, so the
+#: incremental engine (:mod:`repro.engine.incremental`) can count them.
+Effect = Tuple
 
 
 @dataclass
@@ -192,80 +204,18 @@ class Executor:
     def _apply_head(self, plan: "_HeadPlan", binding: Binding,
                     clause: Clause) -> None:
         label = clause.name or str(clause)
-        # 1. Evaluate identities for created objects (fixpoint order).
-        local = dict(binding)
-        for var, skolem in plan.identity_order:
-            try:
-                oid = evaluate(skolem, local, self.source)
-            except EvalError as exc:
-                raise ExecutionError(
-                    f"clause {label}: cannot evaluate identity "
-                    f"{skolem}: {exc}") from exc
-            assert isinstance(oid, Oid)
-            if var in local and local[var] != oid:
-                raise ExecutionError(
-                    f"clause {label}: identity mismatch for {var}: body "
-                    f"binds {local[var]} but the head identity is {oid}")
-            local[var] = oid
-
-        # 2. Create objects.
-        for var, class_name in plan.created.items():
-            oid = local.get(var)
-            if not isinstance(oid, Oid):
-                raise ExecutionError(
-                    f"clause {label}: created object {var} has no "
-                    f"identity")
-            if oid.class_name != class_name:
-                raise ExecutionError(
-                    f"clause {label}: identity {oid} does not belong to "
-                    f"class {class_name}")
-            self._ensure_object(oid)
-
-        # 3. Assignments.
-        for var, attr, value_term in plan.assignments:
-            oid = local.get(var)
-            if not isinstance(oid, Oid):
-                raise ExecutionError(
-                    f"clause {label}: assignment to {var}.{attr} but "
-                    f"{var} is not an object")
-            try:
-                value = evaluate(value_term, local, self.source)
-            except EvalError as exc:
-                raise ExecutionError(
-                    f"clause {label}: cannot evaluate value of "
-                    f"{var}.{attr}: {exc}") from exc
-            self._set_attribute(oid, attr, value, label)
-
-        # 4. Set insertions.
-        for var, attr, element_term in plan.insertions:
-            oid = local.get(var)
-            if not isinstance(oid, Oid):
-                raise ExecutionError(
-                    f"clause {label}: insertion into {var}.{attr} but "
-                    f"{var} is not an object")
-            try:
-                element = evaluate(element_term, local, self.source)
-            except EvalError as exc:
-                raise ExecutionError(
-                    f"clause {label}: cannot evaluate element of "
-                    f"{var}.{attr}: {exc}") from exc
-            pending = self._ensure_object(oid)
-            pending.set_attributes.setdefault(attr, set()).add(element)
-            self.stats.attributes_set += 1
-
-        # 5. Residual checks (equalities between evaluated values).
-        for check in plan.checks:
-            try:
-                left = evaluate(check.left, local, self.source)
-                right = evaluate(check.right, local, self.source)
-            except EvalError as exc:
-                raise ExecutionError(
-                    f"clause {label}: cannot evaluate head check "
-                    f"{check}: {exc}") from exc
-            if left != right:
-                raise ExecutionError(
-                    f"clause {label}: head check {check} failed "
-                    f"({format_value(left)} != {format_value(right)})")
+        for effect in head_effects(plan, binding, self.source, label):
+            kind = effect[0]
+            if kind == EFFECT_CREATE:
+                self._ensure_object(effect[1])
+            elif kind == EFFECT_SET:
+                self._set_attribute(effect[1], effect[2], effect[3], label)
+            else:
+                assert kind == EFFECT_INSERT
+                pending = self._ensure_object(effect[1])
+                pending.set_attributes.setdefault(effect[2],
+                                                  set()).add(effect[3])
+                self.stats.attributes_set += 1
 
     def provenance(self) -> Dict[Oid, Dict[str, str]]:
         """Which clause derived each attribute of each pending object.
@@ -337,39 +287,12 @@ class Executor:
         incomplete: List[str] = []
         for oid, pending in sorted(self._pending.items(), key=lambda i: str(i[0])):
             ctype = self.target_schema.class_type(pending.class_name)
-            value: Value
-            if isinstance(ctype, RecordType):
-                fields = dict(pending.attributes)
-                for attr, elements in pending.set_attributes.items():
-                    fields[attr] = WolSet(frozenset(elements))
-                for label, fty in ctype.fields:
-                    if label not in fields and isinstance(fty, SetType):
-                        fields[label] = WolSet(frozenset())
-                for label in ctype.labels():
-                    if label not in fields:
-                        filler = defaults.get((pending.class_name, label))
-                        if filler is not None:
-                            fields[label] = filler
-                missing = [label for label in ctype.labels()
-                           if label not in fields]
-                if missing:
-                    incomplete.append(
-                        f"{oid}: missing attributes {missing}")
-                    continue
-                extra = [label for label in fields
-                         if not ctype.has_field(label)]
-                if extra:
-                    raise ExecutionError(
-                        f"{oid}: attributes {extra} not in class type")
-                value = Record(tuple(fields.items()))
-            else:
-                if list(pending.attributes) != []:
-                    raise ExecutionError(
-                        f"{oid}: attribute assignments on non-record "
-                        f"class {pending.class_name}")
-                raise ExecutionError(
-                    f"class {pending.class_name} has non-record type; "
-                    f"direct value inserts are not supported")
+            value, missing = assemble_target_value(
+                pending.class_name, oid, ctype, pending.attributes,
+                pending.set_attributes, defaults)
+            if value is None:
+                incomplete.append(f"{oid}: missing attributes {missing}")
+                continue
             builder.put(oid, value)
         if incomplete and validate:
             raise ExecutionError(
@@ -384,6 +307,134 @@ class Executor:
                     f"transformation produced an ill-formed instance: "
                     f"{exc}") from exc
         return instance
+
+
+def head_effects(plan: "_HeadPlan", binding: Binding, source: Instance,
+                 label: str) -> List[Effect]:
+    """The primitive effects of one clause firing under ``binding``.
+
+    This is the single evaluation path for clause heads: the batch
+    executor applies the effects to its pending store and the
+    incremental engine counts them — both therefore create the same
+    objects, set the same attributes and fail on the same inputs.
+    Residual head checks are verified here and raise
+    :class:`ExecutionError` when they fail.
+    """
+    effects: List[Effect] = []
+    # 1. Evaluate identities for created objects (fixpoint order).
+    local = dict(binding)
+    for var, skolem in plan.identity_order:
+        try:
+            oid = evaluate(skolem, local, source)
+        except EvalError as exc:
+            raise ExecutionError(
+                f"clause {label}: cannot evaluate identity "
+                f"{skolem}: {exc}") from exc
+        assert isinstance(oid, Oid)
+        if var in local and local[var] != oid:
+            raise ExecutionError(
+                f"clause {label}: identity mismatch for {var}: body "
+                f"binds {local[var]} but the head identity is {oid}")
+        local[var] = oid
+
+    # 2. Create objects.
+    for var, class_name in plan.created.items():
+        oid = local.get(var)
+        if not isinstance(oid, Oid):
+            raise ExecutionError(
+                f"clause {label}: created object {var} has no "
+                f"identity")
+        if oid.class_name != class_name:
+            raise ExecutionError(
+                f"clause {label}: identity {oid} does not belong to "
+                f"class {class_name}")
+        effects.append((EFFECT_CREATE, oid))
+
+    # 3. Assignments.
+    for var, attr, value_term in plan.assignments:
+        oid = local.get(var)
+        if not isinstance(oid, Oid):
+            raise ExecutionError(
+                f"clause {label}: assignment to {var}.{attr} but "
+                f"{var} is not an object")
+        try:
+            value = evaluate(value_term, local, source)
+        except EvalError as exc:
+            raise ExecutionError(
+                f"clause {label}: cannot evaluate value of "
+                f"{var}.{attr}: {exc}") from exc
+        effects.append((EFFECT_SET, oid, attr, value))
+
+    # 4. Set insertions.
+    for var, attr, element_term in plan.insertions:
+        oid = local.get(var)
+        if not isinstance(oid, Oid):
+            raise ExecutionError(
+                f"clause {label}: insertion into {var}.{attr} but "
+                f"{var} is not an object")
+        try:
+            element = evaluate(element_term, local, source)
+        except EvalError as exc:
+            raise ExecutionError(
+                f"clause {label}: cannot evaluate element of "
+                f"{var}.{attr}: {exc}") from exc
+        effects.append((EFFECT_INSERT, oid, attr, element))
+
+    # 5. Residual checks (equalities between evaluated values).
+    for check in plan.checks:
+        try:
+            left = evaluate(check.left, local, source)
+            right = evaluate(check.right, local, source)
+        except EvalError as exc:
+            raise ExecutionError(
+                f"clause {label}: cannot evaluate head check "
+                f"{check}: {exc}") from exc
+        if left != right:
+            raise ExecutionError(
+                f"clause {label}: head check {check} failed "
+                f"({format_value(left)} != {format_value(right)})")
+    return effects
+
+
+def assemble_target_value(class_name: str, oid: Oid, ctype,
+                          attributes: Mapping[str, Value],
+                          set_attributes: Mapping[str, Iterable[Value]],
+                          defaults: Mapping[Tuple[str, str], Value]
+                          ) -> Tuple[Optional[Value], List[str]]:
+    """Assemble one target object's stored value from derived pieces.
+
+    Returns ``(value, missing_attributes)``; ``value`` is None exactly
+    when attributes are missing (an *incomplete* program, Section 3.2).
+    Shared by :meth:`Executor.freeze` and the incremental engine so the
+    two paths build byte-identical objects.
+    """
+    if not isinstance(ctype, RecordType):
+        if list(attributes) != []:
+            raise ExecutionError(
+                f"{oid}: attribute assignments on non-record "
+                f"class {class_name}")
+        raise ExecutionError(
+            f"class {class_name} has non-record type; "
+            f"direct value inserts are not supported")
+    fields = dict(attributes)
+    for attr, elements in set_attributes.items():
+        fields[attr] = WolSet(frozenset(elements))
+    for label, fty in ctype.fields:
+        if label not in fields and isinstance(fty, SetType):
+            fields[label] = WolSet(frozenset())
+    for label in ctype.labels():
+        if label not in fields:
+            filler = defaults.get((class_name, label))
+            if filler is not None:
+                fields[label] = filler
+    missing = [label for label in ctype.labels() if label not in fields]
+    if missing:
+        return None, missing
+    extra = [label for label in fields if not ctype.has_field(label)]
+    if extra:
+        raise ExecutionError(
+            f"{oid}: attributes {extra} not in class type")
+    return Record(tuple(fields.items())), []
 
 
 class _HeadPlan:

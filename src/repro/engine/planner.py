@@ -32,8 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
-                        MemberAtom, NeqAtom, Program, Proj, Term, Var)
+from ..lang.ast import (
+    Atom, Clause, EqAtom, InAtom, LeqAtom, LtAtom, MemberAtom, NeqAtom, Proj,
+    Term, Var)
 from ..model.instance import Instance
 from ..normalization.optimize import constant_bindings, definition_chains
 from ..semantics.match import (IndexPool, PlanStep, STEP_COMPARE,
@@ -402,6 +403,59 @@ def plan_program(program: Iterable[Clause], instance: Instance,
     return ProgramPlan(plans=tuple(plans), pool=pool,
                        unplanned=tuple(unplanned),
                        prebuilt_indexes=prebuilt)
+
+
+# ----------------------------------------------------------------------
+# Delta-seed planning (semi-naive incremental execution)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeltaSeed:
+    """One seeded variant of a clause plan for incremental execution.
+
+    ``position`` is the member atom's index in the clause body,
+    ``class_name`` the extent it generates from and ``variable`` its
+    element variable.  ``plan`` is the clause's join order recompiled
+    with ``variable`` pre-bound: the member atom collapses to a
+    membership test and the remaining atoms join outward from the seed,
+    probing the shared index pool.  Running the plan once per changed
+    oid of ``class_name`` enumerates exactly the clause's solutions
+    that bind this atom to a changed object — the delta-join of
+    semi-naive evaluation.
+    """
+
+    position: int
+    class_name: str
+    variable: str
+    plan: Optional[JoinPlan]
+
+
+def plan_delta_seeds(clause: Clause,
+                     cardinalities: Optional[Mapping[str, int]] = None
+                     ) -> Tuple[DeltaSeed, ...]:
+    """Seeded join plans, one per member atom of the clause body.
+
+    A member atom whose element is not a plain variable (a pattern the
+    seed oid would have to be unified into) or whose seeded body admits
+    no static order gets ``plan=None``; the incremental engine treats
+    such clauses as unseedable and falls back to a full per-clause
+    recompute under deltas that touch them.
+    """
+    seeds: List[DeltaSeed] = []
+    for position, atom in enumerate(clause.body):
+        if not isinstance(atom, MemberAtom):
+            continue
+        if not isinstance(atom.element, Var):
+            seeds.append(DeltaSeed(position, atom.class_name, "", None))
+            continue
+        try:
+            plan = plan_clause(clause, cardinalities,
+                               initial_bound={atom.element.name})
+        except PlanError:
+            plan = None
+        seeds.append(DeltaSeed(position, atom.class_name,
+                               atom.element.name, plan))
+    return tuple(seeds)
 
 
 # ----------------------------------------------------------------------

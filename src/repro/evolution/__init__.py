@@ -1,8 +1,12 @@
-"""Schema-evolution operators generating WOL programs (paper Section 6
-future work)."""
+"""Schema and instance evolution: operators generating WOL programs
+(paper Section 6 future work), schema diffing, and instance deltas."""
 
 from .operators import Evolution, EvolutionError, EvolutionResult
 from .diff import DiffError, SchemaDiff, diff_schemas
+from .delta import (Delta, DeltaError, delta_between, delta_from_json,
+                    delta_to_json, dump_delta, load_delta)
 
 __all__ = ["Evolution", "EvolutionError", "EvolutionResult",
-           "DiffError", "SchemaDiff", "diff_schemas"]
+           "DiffError", "SchemaDiff", "diff_schemas",
+           "Delta", "DeltaError", "delta_between", "delta_from_json",
+           "delta_to_json", "dump_delta", "load_delta"]

@@ -1,0 +1,386 @@
+"""First-class instance deltas: insert/update/delete of objects, per class.
+
+The paper's closing vision (Section 6) puts Morphase in front of
+*evolving* databases: transformation programs are compiled once and run
+"many times" as the sources change.  A :class:`Delta` is the unit of
+change between two versions of one instance — per class, the objects
+inserted, the objects deleted, and the objects whose stored value was
+updated in place (same identity, new value).
+
+Deltas drive the incremental execution subsystem
+(:mod:`repro.engine.incremental`): instead of re-running a whole
+transformation or constraint audit after every source edit, the engine
+seeds its joins from the delta and patches the previous result.
+
+Deltas are plain data with a JSON interchange form (mirroring
+:mod:`repro.io.json_io`), an applicator producing the updated
+:class:`~repro.model.instance.Instance`, an inverter (for undo), and a
+differ (:func:`delta_between`) recovering the delta between two instance
+versions — the oracle used by the differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from ..io.json_io import value_from_json, value_to_json
+from ..model.instance import Instance
+from ..model.values import Oid, Value, ValueError_, check_value, oids_in
+
+
+class DeltaError(Exception):
+    """Raised for malformed deltas or deltas inconsistent with an instance."""
+
+
+def _freeze_values(changes: Mapping[str, Mapping[Oid, Value]]
+                   ) -> Dict[str, Dict[Oid, Value]]:
+    return {cname: dict(objs) for cname, objs in changes.items() if objs}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A batch of object-level changes against one instance version.
+
+    ``inserts`` and ``updates`` map class name -> oid -> (new) value;
+    ``deletes`` maps class name -> the deleted oids.  A class appears
+    only when it has changes; an oid may appear in at most one of the
+    three groups (an insert-then-delete within one batch should cancel
+    out *before* the delta is built).
+    """
+
+    inserts: Mapping[str, Mapping[Oid, Value]] = field(default_factory=dict)
+    deletes: Mapping[str, Tuple[Oid, ...]] = field(default_factory=dict)
+    updates: Mapping[str, Mapping[Oid, Value]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inserts", _freeze_values(self.inserts))
+        object.__setattr__(self, "updates", _freeze_values(self.updates))
+        deletes = {cname: tuple(oids) for cname, oids in self.deletes.items()
+                   if oids}
+        object.__setattr__(self, "deletes", deletes)
+        for group_name, group in (("inserts", self.inserts),
+                                  ("updates", self.updates)):
+            for cname, objs in group.items():
+                for oid in objs:
+                    if oid.class_name != cname:
+                        raise DeltaError(
+                            f"{group_name}: object {oid} filed under class "
+                            f"{cname}")
+        for cname, oids in self.deletes.items():
+            for oid in oids:
+                if oid.class_name != cname:
+                    raise DeltaError(
+                        f"deletes: object {oid} filed under class {cname}")
+            if len(set(oids)) != len(oids):
+                raise DeltaError(f"deletes: duplicate oids for {cname}")
+        seen: Dict[Oid, str] = {}
+        for group_name, oids in (("inserts", self._group_oids(self.inserts)),
+                                 ("deletes", self._delete_oids()),
+                                 ("updates", self._group_oids(self.updates))):
+            for oid in oids:
+                if oid in seen:
+                    raise DeltaError(
+                        f"object {oid} appears in both {seen[oid]} and "
+                        f"{group_name}; normalise the batch first")
+                seen[oid] = group_name
+
+    @staticmethod
+    def _group_oids(group: Mapping[str, Mapping[Oid, Value]]
+                    ) -> Iterator[Oid]:
+        for objs in group.values():
+            yield from objs
+
+    def _delete_oids(self) -> Iterator[Oid]:
+        for oids in self.deletes.values():
+            yield from oids
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not (self.inserts or self.deletes or self.updates)
+
+    def size(self) -> int:
+        """Total number of changed objects."""
+        return (sum(len(objs) for objs in self.inserts.values())
+                + sum(len(oids) for oids in self.deletes.values())
+                + sum(len(objs) for objs in self.updates.values()))
+
+    def classes(self) -> frozenset:
+        """Every class touched by any change."""
+        return frozenset(self.inserts) | frozenset(self.deletes) \
+            | frozenset(self.updates)
+
+    def removed(self, cname: str) -> Tuple[Oid, ...]:
+        """Oids whose *old* value leaves the instance (deletes+updates)."""
+        return (tuple(self.deletes.get(cname, ()))
+                + tuple(self.updates.get(cname, {})))
+
+    def added(self, cname: str) -> Tuple[Oid, ...]:
+        """Oids whose *new* value enters the instance (inserts+updates)."""
+        return (tuple(self.inserts.get(cname, {}))
+                + tuple(self.updates.get(cname, {})))
+
+    def removed_by_class(self) -> Dict[str, Tuple[Oid, ...]]:
+        return {cname: self.removed(cname)
+                for cname in self.classes() if self.removed(cname)}
+
+    def added_by_class(self) -> Dict[str, Tuple[Oid, ...]]:
+        return {cname: self.added(cname)
+                for cname in self.classes() if self.added(cname)}
+
+    def summary(self) -> str:
+        return (f"delta: {sum(len(o) for o in self.inserts.values())} "
+                f"insert(s), "
+                f"{sum(len(o) for o in self.updates.values())} update(s), "
+                f"{sum(len(o) for o in self.deletes.values())} delete(s) "
+                f"over {len(self.classes())} class(es)")
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_to(self, instance: Instance,
+                 validate_changed: bool = True) -> Instance:
+        """The updated instance this delta produces from ``instance``.
+
+        Inserted objects must be new, deleted and updated objects must
+        exist — a delta is a change against one specific version, and a
+        mismatch means it is being applied to the wrong one.  With
+        ``validate_changed`` every *changed* value is type-checked and
+        its references resolved against the updated instance; unchanged
+        objects are not re-validated (that is the point of deltas).
+        """
+        valuations: Dict[str, Dict[Oid, Value]] = {
+            cname: dict(objs) for cname, objs in instance.valuations.items()}
+        for cname in self.classes():
+            if cname not in valuations:
+                raise DeltaError(
+                    f"delta touches class {cname!r}, absent from schema "
+                    f"{instance.schema.name!r}")
+        for cname, oids in self.deletes.items():
+            store = valuations[cname]
+            for oid in oids:
+                if oid not in store:
+                    raise DeltaError(f"cannot delete {oid}: not in instance")
+                del store[oid]
+        for cname, objs in self.updates.items():
+            store = valuations[cname]
+            for oid, value in objs.items():
+                if oid not in store:
+                    raise DeltaError(f"cannot update {oid}: not in instance")
+                store[oid] = value
+        for cname, objs in self.inserts.items():
+            store = valuations[cname]
+            for oid, value in objs.items():
+                if oid in store:
+                    raise DeltaError(
+                        f"cannot insert {oid}: already in instance")
+                store[oid] = value
+        updated = Instance(instance.schema, valuations)
+        if validate_changed:
+            for cname in self.classes():
+                ctype = instance.schema.class_type(cname)
+                for oid in self.added(cname):
+                    value = updated.value_of(oid)
+                    try:
+                        check_value(value, ctype)
+                    except ValueError_ as exc:
+                        raise DeltaError(
+                            f"changed object {oid}: {exc}") from exc
+                    for ref in oids_in(value):
+                        if not updated.has_object(ref):
+                            raise DeltaError(
+                                f"changed object {oid} references {ref}, "
+                                f"which is not in the updated instance")
+        return updated
+
+    def invert(self, instance: Instance) -> "Delta":
+        """The delta undoing this one, relative to the *pre*-image.
+
+        ``delta.apply_to(i)`` followed by
+        ``delta.invert(i).apply_to(...)`` restores ``i``.
+        """
+        inserts: Dict[str, Dict[Oid, Value]] = {}
+        updates: Dict[str, Dict[Oid, Value]] = {}
+        deletes: Dict[str, Tuple[Oid, ...]] = {}
+        for cname, oids in self.deletes.items():
+            inserts[cname] = {oid: instance.value_of(oid) for oid in oids}
+        for cname, objs in self.updates.items():
+            updates[cname] = {oid: instance.value_of(oid) for oid in objs}
+        for cname, objs in self.inserts.items():
+            deletes[cname] = tuple(objs)
+        return Delta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+def delta_between(old: Instance, new: Instance) -> Delta:
+    """The delta turning ``old`` into ``new`` (same schema).
+
+    The differential oracle: incremental engines must agree with a full
+    recompute over ``delta_between(old, new).apply_to(old)``.
+    """
+    if old.schema.class_names() != new.schema.class_names():
+        raise DeltaError(
+            f"cannot diff instances of different schemas "
+            f"({old.schema.name!r} vs {new.schema.name!r})")
+    inserts: Dict[str, Dict[Oid, Value]] = {}
+    updates: Dict[str, Dict[Oid, Value]] = {}
+    deletes: Dict[str, Tuple[Oid, ...]] = {}
+    for cname in old.schema.class_names():
+        before = old.valuations[cname]
+        after = new.valuations[cname]
+        gone = tuple(oid for oid in before if oid not in after)
+        if gone:
+            deletes[cname] = gone
+        fresh = {oid: value for oid, value in after.items()
+                 if oid not in before}
+        if fresh:
+            inserts[cname] = fresh
+        changed = {oid: value for oid, value in after.items()
+                   if oid in before and before[oid] != value}
+        if changed:
+            updates[cname] = changed
+    return Delta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+# ----------------------------------------------------------------------
+# JSON interchange
+# ----------------------------------------------------------------------
+
+def delta_to_json(delta: Delta) -> Dict[str, Any]:
+    """Encode a delta (keyed oids round-trip structurally)."""
+    def encode_group(group: Mapping[str, Mapping[Oid, Value]]
+                     ) -> Dict[str, Any]:
+        return {cname: [{"id": value_to_json(oid),
+                         "value": value_to_json(value)}
+                        for oid, value in sorted(objs.items(),
+                                                 key=lambda item:
+                                                 str(item[0]))]
+                for cname, objs in sorted(group.items())}
+
+    return {
+        "inserts": encode_group(delta.inserts),
+        "updates": encode_group(delta.updates),
+        "deletes": {cname: [value_to_json(oid)
+                            for oid in sorted(oids, key=str)]
+                    for cname, oids in sorted(delta.deletes.items())},
+    }
+
+
+class _OidResolver:
+    """Resolve serialized object identities against a base instance.
+
+    Keyed oids resolve structurally.  Anonymous oids may be addressed
+    by ``serial`` (in-process round trips) or by the per-dump ``label``
+    scheme of :func:`repro.io.json_io.instance_to_json` (``Class#n``) —
+    the form external tools see when they read a dumped instance.
+
+    Labels resolve through ``labels``, the exact mapping captured when
+    the base instance was loaded
+    (:func:`repro.io.json_io.load_instance` with ``labels=``) — loaded
+    objects get fresh serials, so the mapping cannot be re-derived from
+    the instance afterwards (fresh serials may sort differently than
+    the dumped ones did).  Without a captured mapping, labels are
+    derived from ``instance`` exactly as a dump of it would assign them
+    — correct for in-memory instances that have not been through a
+    load.  Unknown labels denote freshly inserted anonymous objects;
+    equal labels resolve to one fresh oid.
+    """
+
+    def __init__(self, instance: Optional[Instance] = None,
+                 labels: Optional[Mapping[Tuple[str, str], Oid]] = None
+                 ) -> None:
+        self._instance = instance
+        self._labels: Dict[Tuple[str, str], Oid] = dict(labels or {})
+        self._derive = labels is None
+        self._labelled: set = set()
+
+    def _label_map(self, cname: str) -> None:
+        if (not self._derive or self._instance is None
+                or cname in self._labelled):
+            return
+        self._labelled.add(cname)
+        if not self._instance.schema.has_class(cname):
+            return
+        for index, oid in enumerate(
+                sorted(self._instance.objects_of(cname), key=str)):
+            if not oid.is_keyed:
+                self._labels.setdefault((cname, f"{cname}#{index}"), oid)
+
+    def decode_oid(self, data: Any) -> Oid:
+        if not (isinstance(data, Mapping) and "$oid" in data):
+            raise DeltaError(f"expected an object identity, got {data!r}")
+        cname = data["$oid"]
+        if "key" in data:
+            return Oid.keyed(cname, self.decode_value(data["key"]))
+        label = data.get("label")
+        if label is not None:
+            self._label_map(cname)
+            oid = self._labels.get((cname, label))
+            if oid is None:
+                oid = Oid.fresh(cname)
+                self._labels[(cname, label)] = oid
+            return oid
+        if "serial" in data:
+            return Oid(cname, serial=int(data["serial"]))
+        raise DeltaError(f"object identity {data!r} has no key, label "
+                         f"or serial")
+
+    def decode_value(self, data: Any) -> Value:
+        # One structural decoder: json_io walks records/variants/sets/
+        # lists and hands every $oid form back to this resolver.
+        return value_from_json(data, oid_decoder=self.decode_oid)
+
+
+def delta_from_json(data: Mapping[str, Any],
+                    instance: Optional[Instance] = None,
+                    labels: Optional[Mapping[Tuple[str, str], Oid]] = None
+                    ) -> Delta:
+    """Decode a delta produced by :func:`delta_to_json`.
+
+    ``instance`` (or, for loaded instances, the ``labels`` mapping
+    captured at load time) enables label-based addressing of anonymous
+    objects — the dump labels of :mod:`repro.io.json_io`.  Keyed oids
+    and raw serials need neither.
+    """
+    resolver = _OidResolver(instance, labels)
+
+    def decode_group(group: Any) -> Dict[str, Dict[Oid, Value]]:
+        if group is None:
+            return {}
+        if not isinstance(group, Mapping):
+            raise DeltaError(f"expected a class mapping, got {group!r}")
+        out: Dict[str, Dict[Oid, Value]] = {}
+        for cname, entries in group.items():
+            objs: Dict[Oid, Value] = {}
+            for entry in entries:
+                try:
+                    oid = resolver.decode_oid(entry["id"])
+                    value = resolver.decode_value(entry["value"])
+                except (KeyError, TypeError) as exc:
+                    raise DeltaError(
+                        f"malformed delta entry {entry!r}") from exc
+                objs[oid] = value
+            out[cname] = objs
+        return out
+
+    deletes_data = data.get("deletes") or {}
+    deletes = {cname: tuple(resolver.decode_oid(item) for item in oids)
+               for cname, oids in deletes_data.items()}
+    return Delta(inserts=decode_group(data.get("inserts")),
+                 deletes=deletes,
+                 updates=decode_group(data.get("updates")))
+
+
+def dump_delta(delta: Delta, path: str) -> None:
+    import json
+    with open(path, "w") as handle:
+        json.dump(delta_to_json(delta), handle, indent=2, sort_keys=True)
+
+
+def load_delta(path: str, instance: Optional[Instance] = None,
+               labels: Optional[Mapping[Tuple[str, str], Oid]] = None
+               ) -> Delta:
+    import json
+    with open(path) as handle:
+        return delta_from_json(json.load(handle), instance, labels)

@@ -21,10 +21,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..model.keys import KeyedSchema
-from ..model.schema import Schema
 from ..model.types import RecordType, SetType, Type
 from ..model.values import Value
-from .operators import Evolution, EvolutionError
+from .operators import Evolution
 
 
 class DiffError(Exception):

@@ -32,14 +32,14 @@ operator               effect
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..lang.ast import (Clause, EqAtom, InAtom, KIND_TRANSFORMATION,
                         MemberAtom, Program, Proj, SkolemTerm, Term, Var,
                         VariantTerm)
 from ..model.keys import KeyFunction, KeySpec, KeyedSchema
-from ..model.schema import Schema, SchemaError
+from ..model.schema import Schema
 from ..model.types import (ClassType, RecordType, SetType, Type,
                            VariantType)
 from ..model.values import Value

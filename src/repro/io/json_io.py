@@ -58,8 +58,15 @@ def value_to_json(value: Value) -> Any:
     raise JsonIoError(f"cannot encode value {value!r}")
 
 
-def value_from_json(data: Any) -> Value:
-    """Decode JSON data produced by :func:`value_to_json`."""
+def value_from_json(data: Any, oid_decoder=None) -> Value:
+    """Decode JSON data produced by :func:`value_to_json`.
+
+    ``oid_decoder`` optionally replaces the default ``$oid`` handling
+    (e.g. to resolve label-addressed anonymous oids); it receives the
+    raw ``$oid`` mapping and must return an :class:`Oid`.  There is one
+    structural decoder — callers hook it instead of re-implementing the
+    record/variant/set/list walk.
+    """
     if isinstance(data, (bool, int, float, str)):
         return data
     if not isinstance(data, dict):
@@ -67,21 +74,26 @@ def value_from_json(data: Any) -> Value:
     if "$unit" in data:
         return UNIT_VALUE
     if "$oid" in data:
+        if oid_decoder is not None:
+            return oid_decoder(data)
         class_name = data["$oid"]
         if "key" in data:
             return Oid.keyed(class_name, value_from_json(data["key"]))
         return Oid(class_name, serial=int(data["serial"]))
     if "$rec" in data:
         return Record(tuple(
-            (label, value_from_json(v))
+            (label, value_from_json(v, oid_decoder))
             for label, v in data["$rec"].items()))
     if "$var" in data:
-        return Variant(data["$var"], value_from_json(data.get("of",
-                                                              {"$unit": 1})))
+        return Variant(data["$var"],
+                       value_from_json(data.get("of", {"$unit": 1}),
+                                       oid_decoder))
     if "$set" in data:
-        return WolSet(frozenset(value_from_json(v) for v in data["$set"]))
+        return WolSet(frozenset(value_from_json(v, oid_decoder)
+                                for v in data["$set"]))
     if "$list" in data:
-        return WolList(tuple(value_from_json(v) for v in data["$list"]))
+        return WolList(tuple(value_from_json(v, oid_decoder)
+                             for v in data["$list"]))
     raise JsonIoError(f"cannot decode value {data!r}")
 
 
@@ -186,14 +198,26 @@ def instance_to_json(instance: Instance) -> Dict[str, Any]:
 
 
 def instance_from_json(data: Dict[str, Any],
-                       schema: Optional[Schema] = None) -> Instance:
-    """Decode an instance; ``schema`` overrides the embedded one."""
+                       schema: Optional[Schema] = None,
+                       labels: Optional[Dict[Tuple[str, str], Oid]] = None
+                       ) -> Instance:
+    """Decode an instance; ``schema`` overrides the embedded one.
+
+    Anonymous objects get fresh serials on load, so their dump labels
+    (``Class#n``) are the only durable way to address them from
+    outside.  Pass a dict as ``labels`` to capture the exact
+    ``(class, label) -> oid`` mapping of this load — deltas addressed
+    by label (:func:`repro.evolution.delta.load_delta`) resolve through
+    it; re-deriving the labels from the loaded instance would reorder
+    whenever fresh serials sort differently than the dumped ones.
+    """
     if schema is None:
         decoded = schema_from_json(data["schema"])
         schema = decoded.schema if isinstance(decoded, KeyedSchema) \
             else decoded
     builder = InstanceBuilder(schema)
-    anonymous: Dict[Tuple[str, str], Oid] = {}
+    anonymous: Dict[Tuple[str, str], Oid] = \
+        labels if labels is not None else {}
 
     def decode_oid(entry: Any) -> Oid:
         if not (isinstance(entry, dict) and "$oid" in entry):
@@ -244,9 +268,12 @@ def dump_instance(instance: Instance, path: str) -> None:
                   sort_keys=True)
 
 
-def load_instance(path: str, schema: Optional[Schema] = None) -> Instance:
+def load_instance(path: str, schema: Optional[Schema] = None,
+                  labels: Optional[Dict[Tuple[str, str], Oid]] = None
+                  ) -> Instance:
     with open(path) as handle:
-        return instance_from_json(json.load(handle), schema)
+        return instance_from_json(json.load(handle), schema,
+                                  labels=labels)
 
 
 def dump_schema(schema, path: str) -> None:

@@ -29,7 +29,7 @@ All nodes are immutable; substitution and renaming return fresh trees.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
 
 from ..model.values import UNIT_VALUE, UnitValue, format_value

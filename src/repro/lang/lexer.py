@@ -13,7 +13,7 @@ The concrete syntax follows the paper's notation as closely as ASCII allows:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Tuple
 
 
 class LexError(Exception):

@@ -34,8 +34,7 @@ from .ast import (Atom, Clause, Const, EqAtom, InAtom, KIND_CONSTRAINT,
                   KIND_TRANSFORMATION, LeqAtom, LtAtom, MemberAtom, NeqAtom,
                   Program, Proj, RecordTerm, SkolemTerm, Term, UNIT_CONST,
                   Var, VariantTerm)
-from .lexer import (EOF, IDENT, NUMBER, STRING, SYMBOL, LexError, Token,
-                    tokenize)
+from .lexer import EOF, IDENT, NUMBER, STRING, Token, tokenize
 
 
 class ParseError(Exception):

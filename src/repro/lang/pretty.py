@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
-from .ast import Atom, Clause, Program
+from .ast import Clause, Program
 
 
 def format_atoms(atoms, indent: str = "  ", width: int = 72) -> str:

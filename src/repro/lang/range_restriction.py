@@ -32,9 +32,9 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Set, Tuple
 
-from .ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
-                  MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm, Term,
-                  Var, VariantTerm)
+from .ast import (
+    Atom, Clause, Const, EqAtom, InAtom, MemberAtom, Proj, RecordTerm,
+    SkolemTerm, Term, Var, VariantTerm)
 
 
 class RangeRestrictionError(Exception):

@@ -17,13 +17,13 @@ since partial clauses legitimately leave some head structure open.)
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..model.schema import Schema, SchemaError
-from ..model.types import (BOOL, FLOAT, INT, STR, BaseType, ClassType,
-                           ListType, RecordType, SetType, Type, TypeError_,
-                           VariantType)
+from ..model.types import (
+    BOOL, FLOAT, INT, STR, BaseType, ClassType, ListType, RecordType, SetType,
+    Type, VariantType)
 from ..model.values import UnitValue
 from .ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                   MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm, Term,

@@ -12,11 +12,10 @@ execution engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
-from .schema import Schema, SchemaError
-from .types import Type
+from .schema import Schema
 from .values import (Oid, Record, Value, ValueError_, check_value,
                      format_value, oids_in)
 

@@ -15,12 +15,12 @@ the way.  This covers the paper's examples, e.g. for European cities::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
-from .schema import Schema, SchemaError
+from .schema import Schema
 from .types import ClassType, RecordType, Type, TypeError_
-from .values import Oid, Record, Value, ValueError_, format_value
+from .values import Oid, Record, Value, format_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .instance import Instance

@@ -17,7 +17,7 @@ keys during type inference, and structural equality is definitional equality.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 
 class TypeError_(Exception):

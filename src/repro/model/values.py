@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from .types import (BOOL, FLOAT, INT, STR, UNIT, BaseType, ClassType,
                     ListType, RecordType, SetType, Type, TypeError_,

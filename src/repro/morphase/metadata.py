@@ -16,11 +16,11 @@ Given a :class:`~repro.model.keys.KeyedSchema` this module generates:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..lang.ast import (Clause, EqAtom, KIND_CONSTRAINT, MemberAtom, Proj,
                         SkolemTerm, Var)
-from ..model.keys import KeyFunction, KeySpec, KeyedSchema
+from ..model.keys import KeyFunction, KeyedSchema
 
 
 def _path_definitions(object_var: str, path: Tuple[str, ...],

@@ -20,10 +20,10 @@ Usage::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
-from ..engine.executor import ExecutionError, ExecutionStats, execute
+from ..engine.executor import ExecutionStats, execute
 from ..engine.planner import ProgramPlan, plan_program
 from ..lang.ast import Clause, Program
 from ..lang.parser import parse_program
@@ -33,9 +33,8 @@ from ..model.instance import Instance
 from ..model.keys import KeySpec, KeyedSchema, key_violations
 from ..model.schema import Schema, merge_schemas
 from ..normalization.keyclauses import recognise_key_clause
-from ..normalization.normalize import (NormalizationOptions,
-                                       NormalizationError, NormalizedProgram,
-                                       normalize)
+from ..normalization.normalize import (
+    NormalizationOptions, NormalizedProgram, normalize)
 from ..normalization.snf import snf_clause
 from ..semantics.satisfaction import (Violation, merge_instances,
                                       program_violations)
@@ -240,6 +239,67 @@ class Morphase:
                               stats=stats,
                               source_violations=source_violations,
                               cpl_source=cpl_source, plan=program_plan)
+
+    # ------------------------------------------------------------------
+    # Incremental execution (delta-driven change propagation)
+    # ------------------------------------------------------------------
+    def begin_incremental(self, sources: Union[Instance,
+                                               Sequence[Instance]],
+                          defaults=None):
+        """Start an incremental transformation session.
+
+        Runs the compiled program once (planned, recording per-clause
+        effect counts) and returns an
+        :class:`~repro.engine.incremental.IncrementalTransform` whose
+        ``target`` tracks the source under :meth:`apply_delta` — the
+        change-propagation mode the paper's Section 6 envisions for
+        transformations in front of evolving databases.
+        """
+        from ..engine.incremental import IncrementalTransform
+        merged = self._merge_sources(sources)
+        normalized = self.compile()
+        return IncrementalTransform(normalized.program(), merged,
+                                    self.target_plain, defaults=defaults)
+
+    def apply_delta(self, state, delta):
+        """Advance an incremental session by one source delta.
+
+        ``state`` is the session from :meth:`begin_incremental`; the
+        returned :class:`~repro.engine.incremental.DeltaResult` carries
+        the updated target instance and the propagation statistics.
+        The result is identical to re-running :meth:`transform` on the
+        updated source (the full recompute stays on as the differential
+        oracle).
+        """
+        return state.apply_delta(delta)
+
+    def begin_incremental_audit(self, sources: Union[Instance,
+                                                     Sequence[Instance]],
+                                constraints=None):
+        """Start an incremental source-constraint audit session.
+
+        Audits the merged source against ``constraints`` (default: the
+        compiled program's source constraints, as :meth:`check_source`
+        uses) and returns an
+        :class:`~repro.engine.incremental.IncrementalAudit` maintaining
+        the complete violation set under :meth:`audit_delta`.
+        """
+        from ..engine.incremental import IncrementalAudit
+        merged = self._merge_sources(sources)
+        if constraints is None:
+            constraints = list(self.compile().source_constraints)
+        return IncrementalAudit(merged, constraints)
+
+    def audit_delta(self, state, delta):
+        """Advance an incremental audit session by one source delta.
+
+        Returns an
+        :class:`~repro.engine.incremental.AuditDeltaResult`: the newly
+        raised violations (from inserts and updates), the retracted
+        ones (from deletes and updates), and the full surviving set —
+        identical to a fresh audit of the updated instance.
+        """
+        return state.apply_delta(delta)
 
     # ------------------------------------------------------------------
     def audit(self, sources: Union[Instance, Sequence[Instance]],

@@ -23,12 +23,12 @@ fire and are rejected, "causing unsatisfiable rules to be rejected"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
-                        MemberAtom, NeqAtom, Proj, RecordTerm, SkolemTerm,
-                        Term, Var, VariantTerm)
+from ..lang.ast import (
+    Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom, MemberAtom, NeqAtom, Proj,
+    RecordTerm, SkolemTerm, Term, Var, VariantTerm)
 from ..model.values import Record, Variant
 
 #: One attribute path: a chain of attribute names.

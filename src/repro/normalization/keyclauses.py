@@ -20,12 +20,12 @@ to the congruence engine's key-merging (Example 4.1's optimisation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lang.ast import (Atom, Clause, Const, EqAtom, MemberAtom, Proj,
                         SkolemTerm, Term, Var)
 from ..model.keys import KeySpec
-from .congruence import Congruence, KeyPaths, Unsatisfiable, congruence_of
+from .congruence import Congruence, Unsatisfiable, congruence_of
 
 
 class KeyClauseError(Exception):

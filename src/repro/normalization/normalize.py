@@ -28,13 +28,13 @@ The pipeline implemented here:
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
-from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, MemberAtom,
-                        Program, Proj, SkolemTerm, Term, Var)
+from ..lang.ast import (
+    Atom, Clause, EqAtom, InAtom, MemberAtom, Program, Proj, SkolemTerm, Term,
+    Var)
 from ..lang.range_restriction import body_bound_variables
 from ..model.keys import KeySpec
 from ..model.schema import Schema

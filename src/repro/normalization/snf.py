@@ -25,12 +25,11 @@ directionally (``V = X.a`` with ``X`` a created object is an assignment).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..lang.ast import (Atom, Clause, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         MemberAtom, NeqAtom, Program, Proj, RecordTerm,
                         SkolemTerm, Term, Var, VariantTerm)
-from ..lang.range_restriction import determinable_vars
 
 
 class SnfError(Exception):

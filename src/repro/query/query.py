@@ -18,7 +18,7 @@ clause body.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..lang.ast import Atom, Clause
 from ..lang.parser import ParseError, parse_clause

@@ -26,8 +26,7 @@ from ..lang.ast import (Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         Term, Var, VariantTerm)
 from ..model.instance import Instance
 from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
-from .eval import (Binding, EvalError, evaluate, is_evaluable, project,
-                   skolem_key)
+from .eval import Binding, EvalError, evaluate, is_evaluable, project
 
 
 class MatchError(Exception):
@@ -81,28 +80,8 @@ class IndexPool:
             return index
         built: Dict[Value, List[Oid]] = {}
         for oid in self.instance.objects_of(class_name):
-            reached: List[Value] = [oid]
-            for step in path:
-                advanced: List[Value] = []
-                if step == ELEMENT_STEP:
-                    for value in reached:
-                        if isinstance(value, (WolSet, WolList)):
-                            advanced.extend(value)
-                else:
-                    for value in reached:
-                        try:
-                            advanced.append(
-                                project(value, step, self.instance))
-                        except EvalError:
-                            continue  # this branch dies, others survive
-                reached = advanced
-                if not reached:
-                    break
-            seen: set = set()
-            for value in reached:
-                if value not in seen:
-                    seen.add(value)
-                    built.setdefault(value, []).append(oid)
+            for value in _reached_values(self.instance, oid, path):
+                built.setdefault(value, []).append(oid)
         frozen = {value: tuple(oids) for value, oids in built.items()}
         self._indexes[key] = frozen
         self.builds += 1
@@ -126,6 +105,176 @@ class IndexPool:
 
     def indexed_keys(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
         return tuple(sorted(self._indexes))
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+    def path_dependencies(self, class_name: str, path: Tuple[str, ...]
+                          ) -> Optional[frozenset]:
+        """Classes whose object values the index over ``path`` may read.
+
+        The first step always reads the indexed object's own value;
+        every time the walk crosses a class-typed position it
+        dereferences a *stored* object of that class, whose value the
+        index therefore also depends on.  Returns ``None`` when the
+        schema walk cannot determine the read set (conservative).
+        """
+        from ..model.schema import SchemaError
+        from ..model.types import (ClassType, ListType, RecordType, SetType)
+        schema = self.instance.schema
+        deps = {class_name}
+        try:
+            current = schema.class_type(class_name)
+        except SchemaError:
+            return None
+        for step in path:
+            while isinstance(current, ClassType):
+                deps.add(current.name)
+                try:
+                    current = schema.class_type(current.name)
+                except SchemaError:
+                    return None
+            if step == ELEMENT_STEP:
+                if not isinstance(current, (SetType, ListType)):
+                    return None
+                current = current.element
+            else:
+                if not (isinstance(current, RecordType)
+                        and current.has_field(step)):
+                    return None
+                current = current.field_type(step)
+        return frozenset(deps)
+
+    def rebase(self, new_instance: Instance,
+               removed: Mapping[str, Sequence[Oid]],
+               added: Mapping[str, Sequence[Oid]],
+               strict_removed: Optional[Mapping[str,
+                                                Sequence[Oid]]] = None,
+               strict_added: Optional[Mapping[str,
+                                              Sequence[Oid]]] = None,
+               changed_attrs: Optional[Mapping[Oid, Optional[frozenset]]]
+               = None) -> Tuple[int, int]:
+        """Point the pool at an updated instance, patching built indexes.
+
+        ``removed``/``added`` list, per class, the oids whose reachable
+        value set may have changed: the old entries to retract
+        (computed over the *old* instance, still held by the pool) and
+        the new entries to add.  For a delta this means the changed
+        objects **plus their transitive referrers** on each side — an
+        index path may dereference stored references, moving the entry
+        of an object the delta never names.  An object's reached values
+        depend only on objects reachable forward from it, so the
+        referrer closure bounds exactly the entries that can move; the
+        incremental engine (:mod:`repro.engine.incremental`) maintains
+        that closure anyway and passes it here.  Oids absent from an
+        instance contribute nothing on that side, so over-approximating
+        either set is harmless.
+
+        ``strict_removed``/``strict_added`` optionally narrow the work
+        for *local* paths (ones that never dereference another class):
+        a referrer's entry in such an index cannot move, so only the
+        objects the delta itself names need patching — and with
+        ``changed_attrs`` (per-oid differing labels, None for
+        existence changes) an update that leaves the path's root
+        attribute untouched is skipped entirely.
+
+        An index whose path the schema walk cannot bound
+        (:meth:`path_dependencies` returns None) is dropped and lazily
+        rebuilt on next use.  Returns ``(maintained, dropped)`` counts.
+        """
+        maintained = 0
+        dropped = []
+        for (class_name, path), index in self._indexes.items():
+            deps = self.path_dependencies(class_name, path)
+            if deps is None:
+                dropped.append((class_name, path))
+                continue
+            local = deps == {class_name}
+            if local and strict_removed is not None \
+                    and strict_added is not None:
+                removed_here: Sequence[Oid] = [
+                    oid for oid in strict_removed.get(class_name, ())
+                    if _attr_touched(oid, path, changed_attrs)]
+                added_here: Sequence[Oid] = [
+                    oid for oid in strict_added.get(class_name, ())
+                    if _attr_touched(oid, path, changed_attrs)]
+            else:
+                removed_here = removed.get(class_name, ())
+                added_here = added.get(class_name, ())
+            if not removed_here and not added_here:
+                continue
+            patched: Dict[Value, List[Oid]] = {
+                value: list(oids) for value, oids in index.items()}
+            for oid in removed_here:
+                for value in _reached_values(self.instance, oid, path):
+                    entry = patched.get(value)
+                    if entry is not None and oid in entry:
+                        entry.remove(oid)
+                        if not entry:
+                            del patched[value]
+            for oid in added_here:
+                for value in _reached_values(new_instance, oid, path):
+                    entry = patched.setdefault(value, [])
+                    if oid not in entry:
+                        entry.append(oid)
+            self._indexes[(class_name, path)] = {
+                value: tuple(oids) for value, oids in patched.items()}
+            maintained += 1
+        for key in dropped:
+            del self._indexes[key]
+        self.instance = new_instance
+        return maintained, len(dropped)
+
+
+def _attr_touched(oid: Oid, path: Tuple[str, ...],
+                  changed_attrs: Optional[Mapping[Oid,
+                                                  Optional[frozenset]]]
+                  ) -> bool:
+    """Could a change to ``oid`` move its entry in a local-path index?
+
+    A local path reads only the object's own stored value, starting at
+    its first attribute; an update whose differing labels exclude it
+    cannot move the entry.  Unknown changes (no map, or existence
+    changes marked None) are conservatively touched.
+    """
+    if changed_attrs is None:
+        return True
+    attrs = changed_attrs.get(oid)
+    if attrs is None:
+        return True
+    return bool(path) and path[0] in attrs
+
+
+def _reached_values(instance: Instance, oid: Oid,
+                    path: Tuple[str, ...]) -> Tuple[Value, ...]:
+    """The distinct values ``oid`` reaches through ``path`` (build order).
+
+    Shared by the initial index build and the in-place delta
+    maintenance so both compute identical entry sets.
+    """
+    reached: List[Value] = [oid]
+    for step in path:
+        advanced: List[Value] = []
+        if step == ELEMENT_STEP:
+            for value in reached:
+                if isinstance(value, (WolSet, WolList)):
+                    advanced.extend(value)
+        else:
+            for value in reached:
+                try:
+                    advanced.append(project(value, step, instance))
+                except EvalError:
+                    continue  # this branch dies, others survive
+        reached = advanced
+        if not reached:
+            break
+    seen: set = set()
+    distinct: List[Value] = []
+    for value in reached:
+        if value not in seen:
+            seen.add(value)
+            distinct.append(value)
+    return tuple(distinct)
 
 
 #: Plan step modes (computed statically by :mod:`repro.engine.planner`).
@@ -567,6 +716,18 @@ class Matcher:
                 "binding (re-plan with matching initial_bound, or use "
                 "solutions() for the dynamic fallback)")
         yield from self._run_steps(steps, 0, dict(initial or {}))
+
+    def run_plan_trusted(self, steps: Tuple[PlanStep, ...],
+                         initial: Binding) -> Iterator[Binding]:
+        """Execute a plan whose boundness the caller already verified.
+
+        The per-call conflict check of :meth:`run_plan` is linear in
+        the plan size — measurable overhead when a delta join runs one
+        plan per seed oid.  Callers that compiled the plan themselves
+        with exactly ``initial``'s variables as ``initial_bound`` (the
+        incremental engine's seeded plans) may skip it.
+        """
+        yield from self._run_steps(steps, 0, dict(initial))
 
     def _run_steps(self, steps: Tuple[PlanStep, ...], position: int,
                    binding: Binding) -> Iterator[Binding]:

@@ -19,11 +19,11 @@ which is what the execution engine produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..lang.ast import Atom, Clause, Program
+from ..lang.ast import Clause
 from ..model.instance import Instance, InstanceError
-from ..model.schema import Schema, merge_schemas
+from ..model.schema import merge_schemas
 from ..model.values import Oid, Value, format_value
 from .eval import Binding
 from .match import Matcher

@@ -19,7 +19,6 @@ and parametric generators for benchmarking.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
 
 from ..model.instance import Instance, InstanceBuilder
 from ..model.keys import KeyedSchema

@@ -19,7 +19,7 @@ workload reproduces the *shape* of that task on synthetic data:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..adapters.acedb import AceClass, AceDatabase, TagSpec, import_acedb
 from ..adapters.relational import Column, TableSchema

@@ -10,14 +10,13 @@ the core of Section 4.3's argument.
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..lang.ast import Program
 from ..lang.parser import parse_program
 from ..model.instance import Instance, InstanceBuilder
 from ..model.keys import KeyedSchema
-from ..model.schema import Schema, parse_schema
+from ..model.schema import parse_schema
 from ..model.values import Oid, Record, Variant
 
 PERSON_SCHEMA_TEXT = """

@@ -19,14 +19,14 @@ example, with set-valued target attributes exercised end to end.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..lang.ast import Program
 from ..lang.parser import parse_program
 from ..model.instance import Instance, InstanceBuilder
 from ..model.keys import KeyedSchema
 from ..model.schema import parse_schema
-from ..model.values import Oid, Record, WolSet
+from ..model.values import Record
 
 SWISSPROT_SCHEMA_TEXT = """
 schema SwissProt {

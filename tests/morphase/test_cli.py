@@ -139,3 +139,149 @@ class TestCheck:
                    "--data", "$W/bad.json")
         assert code == 1
         assert "violation" in capsys.readouterr().out
+
+    def test_json_output(self, workspace, capsys):
+        (workspace / "constraints.wol").write_text(
+            "C4: Y in CityE, Y.country = X, Y.is_capital = true"
+            " <= X in CountryE;")
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/euro.json", "--json")
+        out = capsys.readouterr().out
+        assert code == 0
+        document = json.loads(out)
+        assert document["ok"] is True
+        assert document["checked"] == 1
+        assert document["violations"] == {}
+        assert document["stats"]["planned_bodies"] == 1
+
+    def test_json_output_with_violations(self, workspace, capsys):
+        builder = cities.sample_euro_instance().builder()
+        builder.new("CountryE", Record.of(
+            name="Utopia", language="?", currency="?"))
+        dump_instance(builder.freeze(), str(workspace / "bad.json"))
+        (workspace / "constraints.wol").write_text(
+            "C4: Y in CityE, Y.country = X, Y.is_capital = true"
+            " <= X in CountryE;")
+        code = run(workspace, "check",
+                   "--source", "$W/euro.schema", "$W/constraints.wol",
+                   "--data", "$W/bad.json", "--json")
+        out = capsys.readouterr().out
+        assert code == 1
+        document = json.loads(out)
+        assert document["ok"] is False
+        assert any("C4" in name for name in document["violations"])
+
+
+class TestApplyDelta:
+    def delta_file(self, workspace, document, name="delta.json"):
+        (workspace / name).write_text(json.dumps(document))
+        return name
+
+    def test_apply_delta_writes_updated_target(self, workspace, capsys):
+        # Insert a country plus its capital: the target gains both and
+        # no source-constraint violation survives.
+        self.delta_file(workspace, {
+            "inserts": {
+                "CountryE": [{
+                    "id": {"$oid": "CountryE", "label": "CountryE#new"},
+                    "value": {"$rec": {"name": "Utopia",
+                                       "language": "utopian",
+                                       "currency": "UTO"}}}],
+                "CityE": [{
+                    "id": {"$oid": "CityE", "label": "CityE#new"},
+                    "value": {"$rec": {
+                        "name": "Nowhere", "is_capital": True,
+                        "country": {"$oid": "CountryE",
+                                    "label": "CountryE#new"}}}}],
+            }})
+        code = run(workspace, "apply-delta",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--delta", "$W/delta.json", "--out", "$W/updated.json",
+                   "--stats")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out and "stats:" in out
+        updated = load_instance(str(workspace / "updated.json"))
+        assert updated.class_sizes() == {
+            "CityT": 13, "CountryT": 4, "StateT": 2}
+
+    def test_apply_delta_reports_violation_diff(self, workspace, capsys):
+        # A country without a capital violates C4; the diff says so.
+        self.delta_file(workspace, {
+            "inserts": {"CountryE": [{
+                "id": {"$oid": "CountryE", "label": "CountryE#new"},
+                "value": {"$rec": {"name": "Utopia",
+                                   "language": "utopian",
+                                   "currency": "UTO"}}}]}})
+        code = run(workspace, "apply-delta",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--delta", "$W/delta.json", "--out", "$W/updated.json")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "+1 new" in out
+
+    def test_apply_delta_json_output(self, workspace, capsys):
+        self.delta_file(workspace, {
+            "inserts": {"CountryE": [{
+                "id": {"$oid": "CountryE", "label": "CountryE#new"},
+                "value": {"$rec": {"name": "Utopia",
+                                   "language": "utopian",
+                                   "currency": "UTO"}}}]}})
+        code = run(workspace, "apply-delta",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--delta", "$W/delta.json", "--out", "$W/updated.json",
+                   "--json")
+        out = capsys.readouterr().out
+        assert code == 1
+        document = json.loads(out)
+        assert document["delta"]["inserts"] == 1
+        assert document["violations"]["remaining"] == 1
+        assert len(document["violations"]["added"]) == 1
+        assert document["target"]["classes"]["CountryT"] == 3
+        assert "elapsed_ms" in document["stats"]
+
+    def test_incremental_equals_recompute_through_cli(self, workspace,
+                                                      capsys):
+        # Differential at the CLI level: apply-delta's output equals a
+        # fresh transform over the manually-updated source.
+        self.delta_file(workspace, {
+            "inserts": {
+                "CountryE": [{
+                    "id": {"$oid": "CountryE", "label": "CountryE#new"},
+                    "value": {"$rec": {"name": "Utopia",
+                                       "language": "utopian",
+                                       "currency": "UTO"}}}],
+                "CityE": [{
+                    "id": {"$oid": "CityE", "label": "CityE#new"},
+                    "value": {"$rec": {
+                        "name": "Nowhere", "is_capital": True,
+                        "country": {"$oid": "CountryE",
+                                    "label": "CountryE#new"}}}}],
+            }})
+        code = run(workspace, "apply-delta",
+                   "--source", "$W/us.schema", "--source", "$W/euro.schema",
+                   "--target", "$W/target.schema", "$W/program.wol",
+                   "--data", "$W/us.json", "--data", "$W/euro.json",
+                   "--delta", "$W/delta.json", "--out", "$W/updated.json")
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.evolution.delta import load_delta
+        from repro.morphase import Morphase
+        from repro.semantics.satisfaction import merge_instances
+        instances = [cities.sample_us_instance(),
+                     cities.sample_euro_instance()]
+        merged = merge_instances("__delta__", instances)
+        delta = load_delta(str(workspace / "delta.json"), merged)
+        morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                            cities.target_schema(), cities.PROGRAM_TEXT)
+        oracle = morphase.transform(delta.apply_to(merged)).target
+        updated = load_instance(str(workspace / "updated.json"))
+        assert updated.class_sizes() == oracle.class_sizes()
