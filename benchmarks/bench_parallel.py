@@ -1,0 +1,210 @@
+"""PX: parallel sharded execution vs the sequential planned path.
+
+The parallel engine (:mod:`repro.engine.parallel`) hash-partitions
+every clause's driving generator across worker processes and merges
+the shards' pending stores back into one target.  Two metrics are
+recorded per workload and worker count:
+
+* ``speedup`` — end-to-end wall clock (planning, fan-out, shard joins,
+  result shipping, merge, freeze) against the single-shard run.  In
+  pure Python the serial tail (inter-process result transfer plus
+  target materialisation) bounds this hard, so it is recorded as the
+  honest trajectory number but not floor-gated.
+* ``execution_speedup`` — the execution phase only: the single-shard
+  in-worker run time over the *slowest* shard's in-worker run time,
+  both measured inside the workers by
+  :class:`~repro.engine.executor.ExecutionStats`.  This is the work
+  the engine actually distributes (solution enumeration plus head
+  effects), and the floor — >= 2x with 4 workers at the genome default
+  size — is registered on it whenever the machine has at least 4 cores
+  (a 1-core sandbox times-shares the workers and records the series
+  without gating).
+
+Every parallel run is differential: the merged target must serialise
+byte-identically to the sequential planned target, and the sharded
+audit must report exactly the sequential violation set.
+"""
+
+import json
+import os
+
+import pytest
+from conftest import best_of, print_table
+
+from repro.adapters.acedb import AceDatabase, schema_of_acedb
+from repro.engine import audit_parallel, execute_parallel
+from repro.io.json_io import instance_to_json
+from repro.morphase import Morphase
+from repro.semantics.satisfaction import program_violations
+from repro.workloads import genome, relibase
+
+#: Execution-phase speedup the 4-worker genome transform must reach —
+#: gated in CI, where runners have >= 4 cores.
+SPEEDUP_FLOOR = 2.0
+WORKER_COUNTS = (2, 4)
+CORES = os.cpu_count() or 1
+
+
+def serialized(instance) -> str:
+    return json.dumps(instance_to_json(instance), sort_keys=True)
+
+
+def floor_for(workers: int):
+    """The registered floor, or None when the hardware cannot reach it."""
+    if workers == 4 and CORES >= 4:
+        return SPEEDUP_FLOOR
+    return None
+
+
+def run_transform_series(morphase, program, source, label_prefix,
+                         bench_report, with_floor):
+    """Measure one workload's transform against worker count."""
+    def sequential_run():
+        return execute_parallel(program, source, morphase.target_plain,
+                                1)
+
+    (sequential, _), seq_time = best_of(sequential_run, repetitions=3)
+    baseline = serialized(sequential)
+    # The sequential execution phase: one shard's in-worker run time
+    # (solution enumeration + head effects, no merge or freeze).  Every
+    # shard-wall measurement — this baseline included — uses the same
+    # mechanism (real processes on >= 4 cores, in-process otherwise),
+    # so cold-fork effects never compare against warm in-process runs.
+    seq_exec = min(
+        max(_shard_execution_walls(program, source, morphase, 1))
+        for _ in range(2))
+    rows = [("sequential", round(seq_time * 1000, 1), "1.00x", "1.00x")]
+    for workers in WORKER_COUNTS:
+        def parallel_run():
+            return execute_parallel(
+                program, source, morphase.target_plain, workers)
+
+        (target, stats), par_time = best_of(parallel_run, repetitions=3)
+        assert serialized(target) == baseline  # differential oracle
+        assert stats.shards_run == workers
+        speedup = seq_time / par_time
+        # A parallel run's merged elapsed_seconds is the whole fan-out
+        # wall; the floor reasons about the per-shard in-worker times,
+        # so collect them in a dedicated fan-out (best of two).
+        critical_path = min(
+            max(_shard_execution_walls(program, source, morphase,
+                                       workers))
+            for _ in range(2))
+        execution_speedup = seq_exec / critical_path
+        rows.append((f"{workers} workers", round(par_time * 1000, 1),
+                     f"{speedup:.2f}x", f"{execution_speedup:.2f}x"))
+        bench_report.record(
+            f"{label_prefix}_w{workers}",
+            sizes=dict(objects=source.size()),
+            cores=CORES, workers=workers,
+            sequential_ms=round(seq_time * 1000, 3),
+            parallel_ms=round(par_time * 1000, 3),
+            speedup=round(speedup, 2),
+            execution_speedup=round(execution_speedup, 2),
+            metric="execution_speedup",
+            floor=floor_for(workers) if with_floor else None)
+        if with_floor and floor_for(workers) is not None:
+            assert execution_speedup >= SPEEDUP_FLOOR, (
+                f"{workers}-worker execution phase only "
+                f"{execution_speedup:.2f}x faster "
+                f"(< {SPEEDUP_FLOOR}x on {CORES} cores)")
+    print_table(
+        f"PX: parallel {label_prefix} transform ({source.size()} "
+        f"source objects, {CORES} cores)",
+        ("path", "wall ms", "wall speedup", "execution speedup"), rows)
+
+
+#: Shard walls are comparable only when the 1-shard baseline and the
+#: n-shard fan-out run under the same mechanism.  With enough cores
+#: everything uses real worker processes (what the CI floor measures);
+#: on smaller machines everything runs in-process back to back, so the
+#: series still describes the per-shard work without timesharing noise.
+MEASURE_WITH_PROCESSES = CORES >= max(WORKER_COUNTS)
+
+
+def _shard_execution_walls(program, source, morphase, workers):
+    """In-worker run times of one parallel fan-out (max = critical path)."""
+    from repro.engine.parallel import (TransformEnvelope,
+                                       _transform_shard)
+    from repro.engine.planner import plan_program
+    import concurrent.futures as futures
+    plan = plan_program(tuple(program), source)
+    envelopes = [TransformEnvelope(tuple(program), source,
+                                   morphase.target_plain, index,
+                                   workers, plan=plan)
+                 for index in range(workers)]
+    if MEASURE_WITH_PROCESSES:
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_transform_shard, envelopes))
+    else:
+        results = [_transform_shard(envelope) for envelope in envelopes]
+    return [stats.elapsed_seconds for _, stats in results]
+
+
+@pytest.fixture(scope="module")
+def genome_setup():
+    source_schema = schema_of_acedb(
+        AceDatabase("ACe22", genome.ACE_CLASSES))
+    morphase = Morphase([source_schema], genome.warehouse_schema(),
+                        genome.PROGRAM_TEXT)
+    source = morphase._merge_sources(
+        genome.source_instance(genome.benchmark_database()))
+    program = tuple(morphase.compile().program())
+    return morphase, program, source
+
+
+def test_parallel_transform_speedup_genome(genome_setup, bench_report,
+                                           benchmark):
+    """Genome transform vs worker count (the floor-gated headline)."""
+    morphase, program, source = genome_setup
+    run_transform_series(morphase, program, source, "genome_default",
+                         bench_report, with_floor=True)
+    benchmark(lambda: None)
+
+
+def test_parallel_transform_relibase(bench_report, benchmark):
+    """Multi-source integration with set-valued accumulation scales too."""
+    morphase = Morphase(
+        [relibase.swissprot_schema(), relibase.pdb_schema()],
+        relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+    source = morphase._merge_sources(list(relibase.benchmark_sources()))
+    program = tuple(morphase.compile().program())
+    run_transform_series(morphase, program, source, "relibase_default",
+                         bench_report, with_floor=False)
+    benchmark(lambda: None)
+
+
+def test_parallel_audit_speedup(genome_setup, bench_report, benchmark):
+    """Sharded constraint audits: same violation set, less wall-clock."""
+    morphase, program, source = genome_setup
+    target, _ = execute_parallel(program, source, morphase.target_plain,
+                                 1)
+    constraints = genome.warehouse_constraints()
+    sequential_violations, seq_time = best_of(
+        lambda: program_violations(target, constraints,
+                                   limit_per_clause=None),
+        repetitions=3)
+    expected = sorted(str(v) for v in sequential_violations)
+    rows = [("sequential", round(seq_time * 1000, 1), "1.00x")]
+    for workers in WORKER_COUNTS:
+        result, par_time = best_of(
+            lambda: audit_parallel(constraints, target, workers),
+            repetitions=3)
+        assert sorted(str(v)
+                      for v in result.violations(constraints)) == expected
+        speedup = seq_time / par_time
+        rows.append((f"{workers} workers", round(par_time * 1000, 1),
+                     f"{speedup:.2f}x"))
+        bench_report.record(
+            f"audit_genome_w{workers}",
+            sizes=dict(objects=target.size(),
+                       constraints=len(constraints)),
+            cores=CORES, workers=workers,
+            sequential_ms=round(seq_time * 1000, 3),
+            parallel_ms=round(par_time * 1000, 3),
+            speedup=round(speedup, 2), metric="speedup")
+    print_table(
+        f"PX: parallel warehouse audit ({target.size()} objects, "
+        f"{len(constraints)} constraints, {CORES} cores)",
+        ("path", "ms", "speedup"), rows)
+    benchmark(lambda: None)

@@ -44,9 +44,11 @@ concrete syntax; instances are the JSON interchange format of
 :mod:`repro.io` and deltas that of
 :mod:`repro.evolution.delta`.  ``transform`` runs the planned execution
 path by default; ``--no-planner`` forces the naive per-clause path and
-``--stats`` prints the executor/planner counters.  ``check`` and
-``apply-delta`` accept ``--json`` for machine-readable reports (CI and
-external tools consume these without scraping text).
+``--stats`` prints the executor/planner counters.  ``transform`` and
+``check`` accept ``--parallel N`` to shard the planned path across N
+worker processes (byte-identical targets, unioned violation sets).
+``check`` and ``apply-delta`` accept ``--json`` for machine-readable
+reports (CI and external tools consume these without scraping text).
 """
 
 from __future__ import annotations
@@ -108,7 +110,8 @@ def _cmd_transform(args) -> int:
     result = morphase.transform(
         instances, backend=args.backend,
         check_source_constraints=args.check_source,
-        use_planner=not args.no_planner)
+        use_planner=not args.no_planner,
+        parallel=args.parallel)
     dump_instance(result.target, args.out)
     sizes = ", ".join(f"{cname}={count}" for cname, count in
                       sorted(result.target.class_sizes().items()))
@@ -118,9 +121,17 @@ def _cmd_transform(args) -> int:
         # Indexes prebuilt by the planner are counted on the plan; the
         # stats delta covers only lazy in-run builds.
         prebuilt = result.plan.prebuilt_indexes if result.plan else 0
+        if stats.parallel_workers:
+            parallel_note = (f"{stats.shards_run} shards over "
+                             f"{stats.parallel_workers} workers, ")
+        elif stats.shards_run:
+            parallel_note = f"{stats.shards_run} shard in-process, "
+        else:
+            parallel_note = ""
         print(f"stats: {stats.clauses_run} clauses "
               f"({stats.clauses_planned} planned, "
               f"{stats.atoms_reordered} atoms reordered), "
+              f"{parallel_note}"
               f"{stats.bindings_found} bindings, "
               f"{prebuilt + stats.indexes_built} indexes built, "
               f"{stats.scans_avoided} scans avoided "
@@ -149,8 +160,13 @@ def _cmd_check(args) -> int:
     instances = [load_instance(path) for path in args.data]
     merged = (instances[0] if len(instances) == 1
               else merge_instances("__check__", instances))
+    if args.parallel is not None and args.no_planner:
+        print("error: --parallel shards join plans; drop --no-planner",
+              file=sys.stderr)
+        return 2
     report = audit_constraints(merged, list(program), limit_per_clause=10,
-                               use_planner=not args.no_planner)
+                               use_planner=not args.no_planner,
+                               parallel=args.parallel)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -297,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     transform_p.add_argument("--no-planner", action="store_true",
                              help="disable the execution planner (naive "
                                   "per-clause path)")
+    transform_p.add_argument("--parallel", type=int, metavar="N",
+                             help="shard execution across N worker "
+                                  "processes (planned path only; the "
+                                  "target is byte-identical to a "
+                                  "sequential run)")
     transform_p.add_argument("--stats", action="store_true",
                              help="print executor/planner statistics")
     check_p.add_argument("--data", action="append", required=True,
@@ -304,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--no-planner", action="store_true",
                          help="disable the audit planner (naive "
                               "per-clause matchers)")
+    check_p.add_argument("--parallel", type=int, metavar="N",
+                         help="shard the audit across N worker "
+                              "processes (violation sets union)")
     check_p.add_argument("--stats", action="store_true",
                          help="print audit planner/index statistics")
     check_p.add_argument("--json", action="store_true",

@@ -140,7 +140,8 @@ class Morphase:
 
     # ------------------------------------------------------------------
     def check_source(self, source: Instance,
-                     use_planner: bool = True) -> List[Violation]:
+                     use_planner: bool = True,
+                     parallel: Optional[int] = None) -> List[Violation]:
         """Audit the merged source instance against source constraints.
 
         Includes schema-level key specifications: a key violation is
@@ -148,11 +149,13 @@ class Morphase:
         The audit is planned by default (one shared prebuilt index pool
         across all constraint clauses); ``use_planner=False`` runs the
         naive per-clause matchers, kept as the differential oracle.
+        ``parallel=N`` fans the audit out across ``N`` worker processes
+        with hash-sharded body enumerations (violation sets union).
         """
         normalized = self.compile()
         violations = list(program_violations(
             source, normalized.source_constraints, limit_per_clause=5,
-            use_planner=use_planner))
+            use_planner=use_planner, parallel=parallel))
         if self.source_keys is not None:
             for bad in key_violations(source, self.source_keys):
                 violations.append(Violation(_key_violation_clause(bad), {}))
@@ -184,7 +187,8 @@ class Morphase:
                   check_source_constraints: bool = False,
                   backend: str = "direct",
                   defaults=None,
-                  use_planner: bool = True) -> MorphaseResult:
+                  use_planner: bool = True,
+                  parallel: Optional[int] = None) -> MorphaseResult:
         """Run the compiled program over the source instance(s).
 
         ``backend`` is ``"direct"`` (the one-pass executor) or ``"cpl"``
@@ -197,6 +201,14 @@ class Morphase:
         (fixed atom orders plus a shared prebuilt index pool);
         ``use_planner=False`` forces the naive per-clause path, kept as
         the differential oracle.
+
+        ``parallel=N`` shards the planned direct path across ``N``
+        worker processes (:func:`repro.engine.parallel.execute_parallel`)
+        — every clause's driving generator is hash-partitioned and the
+        shards merge into a target byte-identical to the sequential
+        result.  Parallel execution *is* planned execution, so it
+        cannot be combined with ``use_planner=False`` or the CPL
+        backend.
         """
         merged = self._merge_sources(sources)
         normalized = self.compile()
@@ -209,8 +221,32 @@ class Morphase:
                     "source constraints violated: "
                     + "; ".join(str(v) for v in found[:5]))
 
+        if parallel is not None:
+            if backend != "direct":
+                raise MorphaseError(
+                    "parallel execution supports only the direct "
+                    "backend")
+            if not use_planner:
+                raise MorphaseError(
+                    "parallel execution shards join plans; it cannot "
+                    "run with use_planner=False (drop --no-planner)")
+            if parallel < 1:
+                raise MorphaseError("parallel worker count must be >= 1")
+
         program_plan: Optional[ProgramPlan] = None
         if backend == "direct":
+            if parallel is not None:
+                from ..engine.parallel import execute_parallel
+                program_plan = plan_program(normalized.program(), merged)
+                target, stats = execute_parallel(
+                    normalized.program(), merged, self.target_plain,
+                    parallel, validate=validate, defaults=defaults,
+                    plan=program_plan)
+                return MorphaseResult(target=target,
+                                      normalized=normalized,
+                                      stats=stats,
+                                      source_violations=source_violations,
+                                      plan=program_plan)
             if use_planner:
                 program_plan = plan_program(normalized.program(), merged)
             target, stats = execute(normalized.program(), merged,
@@ -304,7 +340,8 @@ class Morphase:
     # ------------------------------------------------------------------
     def audit(self, sources: Union[Instance, Sequence[Instance]],
               target: Instance,
-              use_planner: bool = True) -> List[Violation]:
+              use_planner: bool = True,
+              parallel: Optional[int] = None) -> List[Violation]:
         """Check the original program (transformations + constraints)
         against source and target together — the definition of a
         Tr-transformation (Section 3.2).
@@ -313,13 +350,16 @@ class Morphase:
         and head-satisfiability probe is compiled into a fixed join
         order and executed over one shared, prebuilt index pool.
         ``use_planner=False`` is the naive per-clause oracle.
+        ``parallel=N`` shards every clause's body enumeration across
+        ``N`` worker processes and unions the violation sets.
         """
         if isinstance(sources, Instance):
             sources = [sources]
         combined = merge_instances("__audit__", list(sources) + [target])
         return list(program_violations(combined, self.program,
                                        limit_per_clause=5,
-                                       use_planner=use_planner))
+                                       use_planner=use_planner,
+                                       parallel=parallel))
 
 
 def _key_violation_clause(violation) -> Clause:

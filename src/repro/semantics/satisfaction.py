@@ -116,7 +116,8 @@ def satisfies_clause(instance: Instance, clause: Clause) -> bool:
 def program_violations(instance: Instance, program: Iterable[Clause],
                        limit_per_clause: Optional[int] = None,
                        use_planner: bool = True,
-                       plan=None) -> List[Violation]:
+                       plan=None,
+                       parallel: Optional[int] = None) -> List[Violation]:
     """All violations of all clauses (constraint audit).
 
     By default the whole audit is *planned*: every clause's body and
@@ -127,8 +128,21 @@ def program_violations(instance: Instance, program: Iterable[Clause],
     differential oracle.  ``plan`` injects a precomputed
     :class:`~repro.engine.planner.AuditPlan` (e.g. to amortise planning
     and index builds across repeated audits of one instance).
+    ``parallel=N`` fans the planned audit out across ``N`` worker
+    processes (:func:`repro.engine.parallel.audit_parallel`): each
+    worker enumerates its hash-shard of every clause's body solutions
+    and the violation sets union, identical to the sequential set.
     """
     clauses = list(program)
+    if parallel is not None:
+        if not use_planner or plan is not None:
+            raise ValueError(
+                "parallel audits shard join plans; they cannot run "
+                "with use_planner=False or an injected plan")
+        from ..engine.parallel import audit_parallel
+        result = audit_parallel(clauses, instance, parallel,
+                                limit_per_clause=limit_per_clause)
+        return result.violations(clauses)
     audit_plan = plan
     if audit_plan is not None and audit_plan.pool.instance is not instance:
         raise ValueError(

@@ -1,0 +1,1 @@
+"""CLI golden-file regression tests."""

@@ -1,0 +1,203 @@
+"""Golden-file regression tests for the CLI's machine-readable output.
+
+The ``plan``, ``check --json`` and ``apply-delta --json`` outputs are
+consumed by CI and external tools, so their exact shape is pinned
+against goldens stored in ``tests/cli/goldens/``.  Volatile fields
+(elapsed milliseconds, filesystem paths) are scrubbed to stable
+placeholders before comparison; everything else — plan step orders,
+estimated costs, violation witnesses, propagation counters — must
+match byte for byte.
+
+To regenerate after an intentional output change::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/cli
+
+Fixtures are chosen so no anonymous object identity ever reaches the
+output (anonymous oids carry process-local serials): the ``check``
+golden audits a transformed ReLiBase warehouse whose objects are all
+Skolem-keyed, and the ``apply-delta`` golden's violation diff stays
+empty by construction.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_instance
+from repro.morphase import Morphase
+from repro.workloads import cities, relibase
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+RELIBASE_CONSTRAINTS_TEXT = """
+-- Accession is a key for Protein (equal accession, equal object).
+KeyProtein:
+  X = Y <= X in Protein, Y in Protein, X.accession = Y.accession;
+
+-- Every complex's ligand is a warehouse ligand.
+IncComplexLigand:
+  V in Ligand <= M in Complex, V = M.ligand;
+"""
+
+CITIES_DELTA = {
+    "inserts": {
+        "CountryE": [{
+            "id": {"$oid": "CountryE", "label": "CountryE#new"},
+            "value": {"$rec": {"name": "Utopia",
+                               "language": "utopian",
+                               "currency": "UTO"}}}],
+        "CityE": [{
+            "id": {"$oid": "CityE", "label": "CityE#new"},
+            "value": {"$rec": {
+                "name": "Nowhere", "is_capital": True,
+                "country": {"$oid": "CountryE",
+                            "label": "CountryE#new"}}}}],
+    }}
+
+
+def compare_to_golden(name: str, rendered: str) -> None:
+    """Assert ``rendered`` equals the stored golden (or regenerate)."""
+    path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("UPDATE_GOLDENS"):
+        with open(path, "w") as handle:
+            handle.write(rendered)
+    if not os.path.exists(path):
+        pytest.fail(f"golden {name} missing; regenerate with "
+                    f"UPDATE_GOLDENS=1")
+    with open(path) as handle:
+        expected = handle.read()
+    assert rendered == expected, (
+        f"CLI output drifted from goldens/{name}; if the change is "
+        f"intentional, regenerate with UPDATE_GOLDENS=1")
+
+
+def scrub(document, replacements) -> str:
+    """Stable rendering of a JSON document with volatile fields fixed.
+
+    ``replacements`` maps a dotted path to the placeholder that
+    replaces whatever value the run produced.
+    """
+    for dotted, placeholder in replacements.items():
+        node = document
+        *parents, leaf = dotted.split(".")
+        for key in parents:
+            node = node[key]
+        assert leaf in node, f"expected {dotted} in CLI output"
+        node[leaf] = placeholder
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture()
+def relibase_workspace(tmp_path):
+    (tmp_path / "sp.schema").write_text(relibase.SWISSPROT_SCHEMA_TEXT)
+    (tmp_path / "pdb.schema").write_text(relibase.PDB_SCHEMA_TEXT)
+    (tmp_path / "relibase.schema").write_text(
+        relibase.RELIBASE_SCHEMA_TEXT)
+    (tmp_path / "program.wol").write_text(relibase.PROGRAM_TEXT)
+    dump_instance(relibase.sample_swissprot(), str(tmp_path / "sp.json"))
+    dump_instance(relibase.sample_pdb(), str(tmp_path / "pdb.json"))
+    return tmp_path
+
+
+@pytest.fixture()
+def cities_workspace(tmp_path):
+    (tmp_path / "us.schema").write_text(cities.US_SCHEMA_TEXT)
+    (tmp_path / "euro.schema").write_text(cities.EURO_SCHEMA_TEXT)
+    (tmp_path / "target.schema").write_text(cities.TARGET_SCHEMA_TEXT)
+    (tmp_path / "program.wol").write_text(cities.PROGRAM_TEXT)
+    dump_instance(cities.sample_us_instance(), str(tmp_path / "us.json"))
+    dump_instance(cities.sample_euro_instance(),
+                  str(tmp_path / "euro.json"))
+    (tmp_path / "delta.json").write_text(json.dumps(CITIES_DELTA))
+    return tmp_path
+
+
+class TestPlanGolden:
+    def test_plan_output(self, relibase_workspace, capsys):
+        w = relibase_workspace
+        code = main(["plan",
+                     "--source", str(w / "sp.schema"),
+                     "--source", str(w / "pdb.schema"),
+                     "--target", str(w / "relibase.schema"),
+                     str(w / "program.wol"),
+                     "--data", str(w / "sp.json"),
+                     "--data", str(w / "pdb.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        compare_to_golden("plan_relibase.txt", out)
+
+
+class TestCheckGolden:
+    def corrupted_warehouse(self, workspace):
+        """A transformed warehouse with one duplicated Protein key."""
+        morphase = Morphase(
+            [relibase.swissprot_schema(), relibase.pdb_schema()],
+            relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+        target = morphase.transform(
+            [relibase.sample_swissprot(), relibase.sample_pdb()]).target
+        builder = target.builder()
+        proteins = sorted(target.objects_of("Protein"), key=str)
+        builder.put(proteins[0],
+                    target.value_of(proteins[0]).with_field(
+                        "accession",
+                        target.value_of(proteins[1]).get("accession")))
+        bad = builder.freeze(validate=False)
+        dump_instance(bad, str(workspace / "warehouse.json"))
+
+    def test_check_json_with_violations(self, relibase_workspace,
+                                        capsys):
+        w = relibase_workspace
+        (w / "constraints.wol").write_text(RELIBASE_CONSTRAINTS_TEXT)
+        self.corrupted_warehouse(w)
+        code = main(["check",
+                     "--source", str(w / "relibase.schema"),
+                     str(w / "constraints.wol"),
+                     "--data", str(w / "warehouse.json"),
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        rendered = scrub(json.loads(out),
+                         {"stats.elapsed_ms": "<elapsed>"})
+        compare_to_golden("check_relibase.json", rendered)
+
+    def test_check_json_parallel_matches_sequential_golden(
+            self, relibase_workspace, capsys):
+        """The parallel audit emits the same violations (report stats
+        differ by construction, so only the violation block is pinned)."""
+        w = relibase_workspace
+        (w / "constraints.wol").write_text(RELIBASE_CONSTRAINTS_TEXT)
+        self.corrupted_warehouse(w)
+        code = main(["check",
+                     "--source", str(w / "relibase.schema"),
+                     str(w / "constraints.wol"),
+                     "--data", str(w / "warehouse.json"),
+                     "--json", "--parallel", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        with open(os.path.join(GOLDEN_DIR,
+                               "check_relibase.json")) as handle:
+            golden = json.load(handle)
+        assert json.loads(out)["violations"] == golden["violations"]
+
+
+class TestApplyDeltaGolden:
+    def test_apply_delta_json(self, cities_workspace, capsys):
+        w = cities_workspace
+        code = main(["apply-delta",
+                     "--source", str(w / "us.schema"),
+                     "--source", str(w / "euro.schema"),
+                     "--target", str(w / "target.schema"),
+                     str(w / "program.wol"),
+                     "--data", str(w / "us.json"),
+                     "--data", str(w / "euro.json"),
+                     "--delta", str(w / "delta.json"),
+                     "--out", str(w / "updated.json"),
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rendered = scrub(json.loads(out),
+                         {"stats.elapsed_ms": "<elapsed>",
+                          "target.path": "<out>"})
+        compare_to_golden("apply_delta_cities.json", rendered)

@@ -1,0 +1,1 @@
+"""Cross-engine differential fuzzing."""
