@@ -39,6 +39,25 @@ Subcommands::
         violation diff (new violations from inserts, retracted ones
         from deletes).  ``--json`` emits the whole report as JSON.
 
+    python -m repro serve    --store DIR --source us.schema \\
+                             --target target.schema program.wol \\
+                             [--data us.json] [--host H] [--port P]
+        Open (or initialise, from ``--data``) a durable warehouse
+        store and serve it over HTTP: one long-lived session keeps
+        the compiled plan, indexes and incremental transform/audit
+        state warm; POST /ingest appends deltas to the write-ahead
+        log and group-commits them into the warm state.
+
+    python -m repro snapshot --store DIR [--data us.json]
+        Initialise a store from instance files (first run) or compact
+        an existing one: write a content-addressed snapshot at the
+        current sequence number and reset the write-ahead log.
+
+    python -m repro replay   --store DIR [--out source.json] [--json]
+        Recover a store and report what replay saw: the snapshot it
+        started from, the WAL records applied, whether a torn final
+        record was dropped, and the recovered class sizes.
+
 Schema files use the textual schema language; ``program.wol`` is WOL
 concrete syntax; instances are the JSON interchange format of
 :mod:`repro.io` and deltas that of
@@ -270,6 +289,93 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service.server import make_server
+    morphase = _build_morphase(args)
+    sources = ([load_instance(path) for path in args.data]
+               if args.data else None)
+    store = morphase.open_store(args.store, sources, fsync=args.fsync)
+    session = morphase.serve(store)
+    server = make_server(session, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    stats = store.stats()
+    print(f"store: {args.store} (seq {stats['seq']}, "
+          f"{stats['wal_records']} WAL record(s) replayed)")
+    print(f"serving on {server.url} — POST /ingest, GET /query, "
+          f"GET /check, POST /snapshot, GET /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("shutting down")
+    finally:
+        server.server_close()
+        session.close()
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from .store.store import WarehouseStore
+    if WarehouseStore.exists(args.store):
+        store = WarehouseStore.open(args.store)
+        subsumed = len(store.tail)
+        name = store.snapshot()
+        action = f"compacted ({subsumed} WAL record(s) subsumed)"
+    else:
+        if not args.data:
+            print(f"error: no store at {args.store}; pass --data to "
+                  f"initialise one", file=sys.stderr)
+            return 2
+        instances = [load_instance(path) for path in args.data]
+        merged = (instances[0] if len(instances) == 1
+                  else merge_instances("__source__", instances))
+        store = WarehouseStore.create(args.store, merged)
+        name = store.snapshot_file
+        action = "initialised"
+    sizes = ", ".join(f"{cname}={count}" for cname, count in
+                      sorted(store.instance.class_sizes().items()))
+    print(f"{action} store {args.store}")
+    print(f"snapshot: {name} (base_seq {store.base_seq})")
+    print(f"classes: {sizes}")
+    store.close()
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .store.store import WarehouseStore
+    store = WarehouseStore.open(args.store)
+    stats = store.stats()
+    if args.out:
+        dump_instance(store.instance, args.out)
+    if args.json:
+        document = {
+            "store": args.store,
+            "snapshot": stats["snapshot"],
+            "base_seq": stats["base_seq"],
+            "seq": stats["seq"],
+            "replayed": stats["wal_records"],
+            "torn_tail_dropped": stats["recovered_torn"],
+            "classes": stats["classes"],
+        }
+        if args.out:
+            document["out"] = args.out
+        print(json.dumps(document, indent=2, sort_keys=True))
+        store.close()
+        return 0
+    torn = ("dropped a torn final record"
+            if store.recovered_torn is not None else "none")
+    sizes = ", ".join(f"{cname}={count}" for cname, count in
+                      sorted(stats["classes"].items()))
+    print(f"recovered store {args.store}")
+    print(f"snapshot: {stats['snapshot']} (base_seq {stats['base_seq']})")
+    print(f"replayed {stats['wal_records']} WAL record(s) to seq "
+          f"{stats['seq']}, torn tail: {torn}")
+    print(f"classes: {sizes}")
+    if args.out:
+        print(f"wrote {args.out}")
+    store.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -289,8 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
     delta_p = sub.add_parser("apply-delta",
                              help="incrementally propagate a source delta "
                                   "through a transformation")
+    serve_p = sub.add_parser("serve",
+                             help="serve a durable warehouse store over "
+                                  "HTTP (warm incremental session)")
+    snapshot_p = sub.add_parser("snapshot",
+                                help="initialise or compact a warehouse "
+                                     "store (snapshot + WAL reset)")
+    replay_p = sub.add_parser("replay",
+                              help="recover a warehouse store and report "
+                                   "the WAL replay")
 
-    for p in (compile_p, transform_p, plan_p, delta_p):
+    for p in (compile_p, transform_p, plan_p, delta_p, serve_p):
         p.add_argument("--source", action="append", required=True,
                        help="source schema file (repeatable)")
         p.add_argument("--target", required=True,
@@ -344,12 +459,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print incremental propagation statistics")
     delta_p.add_argument("--json", action="store_true",
                          help="emit the whole delta report as JSON")
+    serve_p.add_argument("--store", required=True,
+                         help="warehouse store directory (created from "
+                              "--data when absent)")
+    serve_p.add_argument("--data", action="append",
+                         help="source instance JSON to initialise a new "
+                              "store (repeatable)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8973,
+                         help="bind port, 0 for ephemeral (default 8973)")
+    serve_p.add_argument("--fsync", action="store_true",
+                         help="fsync every WAL append (durability over "
+                              "ingest throughput)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    snapshot_p.add_argument("--store", required=True,
+                            help="warehouse store directory")
+    snapshot_p.add_argument("--data", action="append",
+                            help="source instance JSON to initialise a "
+                                 "new store (repeatable)")
+    replay_p.add_argument("--store", required=True,
+                          help="warehouse store directory")
+    replay_p.add_argument("--out",
+                          help="write the recovered source instance JSON")
+    replay_p.add_argument("--json", action="store_true",
+                          help="emit the recovery report as JSON")
 
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)
     check_p.set_defaults(func=_cmd_check)
     plan_p.set_defaults(func=_cmd_plan)
     delta_p.set_defaults(func=_cmd_apply_delta)
+    serve_p.set_defaults(func=_cmd_serve)
+    snapshot_p.set_defaults(func=_cmd_snapshot)
+    replay_p.set_defaults(func=_cmd_replay)
     return parser
 
 

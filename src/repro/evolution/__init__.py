@@ -3,10 +3,10 @@
 
 from .operators import Evolution, EvolutionError, EvolutionResult
 from .diff import DiffError, SchemaDiff, diff_schemas
-from .delta import (Delta, DeltaError, delta_between, delta_from_json,
-                    delta_to_json, dump_delta, load_delta)
+from .delta import (Delta, DeltaError, compose_deltas, delta_between,
+                    delta_from_json, delta_to_json, dump_delta, load_delta)
 
 __all__ = ["Evolution", "EvolutionError", "EvolutionResult",
            "DiffError", "SchemaDiff", "diff_schemas",
-           "Delta", "DeltaError", "delta_between", "delta_from_json",
-           "delta_to_json", "dump_delta", "load_delta"]
+           "Delta", "DeltaError", "compose_deltas", "delta_between",
+           "delta_from_json", "delta_to_json", "dump_delta", "load_delta"]

@@ -247,12 +247,18 @@ def delta_between(old: Instance, new: Instance) -> Delta:
 # JSON interchange
 # ----------------------------------------------------------------------
 
-def delta_to_json(delta: Delta) -> Dict[str, Any]:
-    """Encode a delta (keyed oids round-trip structurally)."""
+def delta_to_json(delta: Delta, oid_encoder=None) -> Dict[str, Any]:
+    """Encode a delta (keyed oids round-trip structurally).
+
+    ``oid_encoder`` optionally replaces the default identity encoding
+    (see :func:`repro.io.json_io.value_to_json`) — the durable store
+    uses it to address anonymous oids by label instead of by
+    process-local serial, so WAL records survive a restart.
+    """
     def encode_group(group: Mapping[str, Mapping[Oid, Value]]
                      ) -> Dict[str, Any]:
-        return {cname: [{"id": value_to_json(oid),
-                         "value": value_to_json(value)}
+        return {cname: [{"id": value_to_json(oid, oid_encoder),
+                         "value": value_to_json(value, oid_encoder)}
                         for oid, value in sorted(objs.items(),
                                                  key=lambda item:
                                                  str(item[0]))]
@@ -261,7 +267,7 @@ def delta_to_json(delta: Delta) -> Dict[str, Any]:
     return {
         "inserts": encode_group(delta.inserts),
         "updates": encode_group(delta.updates),
-        "deletes": {cname: [value_to_json(oid)
+        "deletes": {cname: [value_to_json(oid, oid_encoder)
                             for oid in sorted(oids, key=str)]
                     for cname, oids in sorted(delta.deletes.items())},
     }
@@ -334,14 +340,22 @@ class _OidResolver:
 
 def delta_from_json(data: Mapping[str, Any],
                     instance: Optional[Instance] = None,
-                    labels: Optional[Mapping[Tuple[str, str], Oid]] = None
-                    ) -> Delta:
+                    labels: Optional[Mapping[Tuple[str, str], Oid]] = None,
+                    capture_labels: Optional[Dict[Tuple[str, str], Oid]]
+                    = None) -> Delta:
     """Decode a delta produced by :func:`delta_to_json`.
 
     ``instance`` (or, for loaded instances, the ``labels`` mapping
     captured at load time) enables label-based addressing of anonymous
     objects — the dump labels of :mod:`repro.io.json_io`.  Keyed oids
     and raw serials need neither.
+
+    ``capture_labels``, when given, receives every ``(class, label) ->
+    oid`` binding the decode resolved or minted — including fresh oids
+    for previously unseen labels.  A caller replaying a sequence of
+    label-addressed deltas (the durable store's WAL) feeds each
+    decode's captures back as the next decode's ``labels`` so one
+    label always denotes one object across the whole sequence.
     """
     resolver = _OidResolver(instance, labels)
 
@@ -367,9 +381,78 @@ def delta_from_json(data: Mapping[str, Any],
     deletes_data = data.get("deletes") or {}
     deletes = {cname: tuple(resolver.decode_oid(item) for item in oids)
                for cname, oids in deletes_data.items()}
-    return Delta(inserts=decode_group(data.get("inserts")),
-                 deletes=deletes,
-                 updates=decode_group(data.get("updates")))
+    decoded = Delta(inserts=decode_group(data.get("inserts")),
+                    deletes=deletes,
+                    updates=decode_group(data.get("updates")))
+    if capture_labels is not None:
+        capture_labels.update(resolver._labels)
+    return decoded
+
+
+def compose_deltas(first: Delta, second: Delta) -> Delta:
+    """The single delta equivalent to applying ``first`` then ``second``.
+
+    For every instance ``i`` both sides accept,
+    ``compose_deltas(first, second).apply_to(i)`` equals
+    ``second.apply_to(first.apply_to(i))`` — the service layer leans on
+    this to batch a burst of queued deltas into one incremental
+    application.  Per object the group algebra is: insert∘update =
+    insert (new value), insert∘delete = nothing, update∘update =
+    update (last value wins), update∘delete = delete, delete∘insert =
+    update.  Combinations ``second`` could never apply after ``first``
+    (inserting an object ``first`` left present, touching one it
+    deleted) raise :class:`DeltaError`.
+    """
+    inserts: Dict[str, Dict[Oid, Value]] = {
+        cname: dict(objs) for cname, objs in first.inserts.items()}
+    updates: Dict[str, Dict[Oid, Value]] = {
+        cname: dict(objs) for cname, objs in first.updates.items()}
+    deletes: Dict[str, Dict[Oid, None]] = {
+        cname: dict.fromkeys(oids)
+        for cname, oids in first.deletes.items()}
+
+    def group(store: Dict[str, Dict], cname: str) -> Dict:
+        return store.setdefault(cname, {})
+
+    for cname, objs in second.inserts.items():
+        for oid, value in objs.items():
+            if (oid in inserts.get(cname, {})
+                    or oid in updates.get(cname, {})):
+                raise DeltaError(
+                    f"compose: {oid} inserted by the second delta but "
+                    f"still present after the first")
+            if oid in deletes.get(cname, {}):
+                del deletes[cname][oid]
+                group(updates, cname)[oid] = value
+            else:
+                group(inserts, cname)[oid] = value
+    for cname, objs in second.updates.items():
+        for oid, value in objs.items():
+            if oid in deletes.get(cname, {}):
+                raise DeltaError(
+                    f"compose: {oid} updated by the second delta but "
+                    f"deleted by the first")
+            if oid in inserts.get(cname, {}):
+                inserts[cname][oid] = value
+            else:
+                group(updates, cname)[oid] = value
+    for cname, oids in second.deletes.items():
+        for oid in oids:
+            if oid in deletes.get(cname, {}):
+                raise DeltaError(
+                    f"compose: {oid} deleted by both deltas")
+            if oid in inserts.get(cname, {}):
+                del inserts[cname][oid]
+            elif oid in updates.get(cname, {}):
+                del updates[cname][oid]
+                group(deletes, cname)[oid] = None
+            else:
+                group(deletes, cname)[oid] = None
+
+    return Delta(inserts=inserts,
+                 deletes={cname: tuple(oids)
+                          for cname, oids in deletes.items() if oids},
+                 updates=updates)
 
 
 def dump_delta(delta: Delta, path: str) -> None:

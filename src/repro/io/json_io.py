@@ -33,28 +33,39 @@ class JsonIoError(Exception):
 # Values
 # ----------------------------------------------------------------------
 
-def value_to_json(value: Value) -> Any:
-    """Encode a WOL value as JSON-compatible data."""
+def value_to_json(value: Value, oid_encoder=None) -> Any:
+    """Encode a WOL value as JSON-compatible data.
+
+    ``oid_encoder`` optionally replaces the default ``$oid`` handling
+    (e.g. to emit durable labels for anonymous oids instead of
+    process-local serials); it receives the :class:`Oid` and must
+    return the JSON mapping for it.  The mirror of ``oid_decoder`` on
+    :func:`value_from_json` — one structural encoder, hooked at the
+    identities.
+    """
     if isinstance(value, bool) or isinstance(value, (int, float, str)):
         return value
     if isinstance(value, UnitValue):
         return {"$unit": True}
     if isinstance(value, Oid):
+        if oid_encoder is not None:
+            return oid_encoder(value)
         if value.is_keyed:
             return {"$oid": value.class_name,
                     "key": value_to_json(value.key)}
         return {"$oid": value.class_name, "serial": value.serial}
     if isinstance(value, Record):
-        return {"$rec": {label: value_to_json(v)
+        return {"$rec": {label: value_to_json(v, oid_encoder)
                          for label, v in value.fields}}
     if isinstance(value, Variant):
-        return {"$var": value.label, "of": value_to_json(value.value)}
+        return {"$var": value.label,
+                "of": value_to_json(value.value, oid_encoder)}
     if isinstance(value, WolSet):
-        encoded = [value_to_json(v) for v in value]
+        encoded = [value_to_json(v, oid_encoder) for v in value]
         encoded.sort(key=json.dumps)
         return {"$set": encoded}
     if isinstance(value, WolList):
-        return {"$list": [value_to_json(v) for v in value]}
+        return {"$list": [value_to_json(v, oid_encoder) for v in value]}
     raise JsonIoError(f"cannot encode value {value!r}")
 
 

@@ -338,6 +338,55 @@ class Morphase:
         return state.apply_delta(delta)
 
     # ------------------------------------------------------------------
+    # Durable store + service (snapshot/WAL persistence, warm sessions)
+    # ------------------------------------------------------------------
+    def open_store(self, path: str,
+                   sources: Union[Instance, Sequence[Instance], None]
+                   = None,
+                   fsync: bool = False):
+        """Open (or create) a durable warehouse store for this system.
+
+        An existing store at ``path`` is recovered — latest snapshot
+        plus WAL tail, torn final record tolerated.  Otherwise
+        ``sources`` must be given and the store is initialised with
+        their merged instance as snapshot zero.  The store persists
+        the *merged source*; transformed targets are derived state a
+        :meth:`serve` session keeps warm.
+        """
+        from ..store.store import StoreError, WarehouseStore
+        if WarehouseStore.exists(path):
+            store = WarehouseStore.open(path, fsync=fsync)
+            if (store.instance.schema.class_names()
+                    != self.source_schema.class_names()):
+                raise MorphaseError(
+                    f"store at {path} holds classes "
+                    f"{store.instance.schema.class_names()}, but this "
+                    f"system's merged source schema has "
+                    f"{self.source_schema.class_names()}")
+            return store
+        if sources is None:
+            raise MorphaseError(
+                f"no store at {path} and no sources to initialise one")
+        try:
+            return WarehouseStore.create(
+                path, self._merge_sources(sources), fsync=fsync)
+        except StoreError as exc:
+            raise MorphaseError(str(exc)) from exc
+
+    def serve(self, store, defaults=None):
+        """A warm, thread-safe serving session over an open store.
+
+        Returns a :class:`~repro.service.session.WarehouseSession`:
+        the compiled plan, shared index pool and incremental
+        transform/audit state stay hot across requests, writers
+        group-commit delta bursts, readers run concurrently.  Hand it
+        to :func:`repro.service.server.make_server` for the HTTP
+        front end.
+        """
+        from ..service.session import WarehouseSession
+        return WarehouseSession(self, store, defaults=defaults)
+
+    # ------------------------------------------------------------------
     def audit(self, sources: Union[Instance, Sequence[Instance]],
               target: Instance,
               use_planner: bool = True,

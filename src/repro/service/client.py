@@ -1,0 +1,78 @@
+"""A minimal JSON client for the warehouse service (urllib only).
+
+Used by the tests, the benchmarks and ``examples/service_demo.py`` —
+and small enough to copy into any consumer that cannot add
+dependencies either.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+from urllib import request as urlrequest
+from urllib.error import HTTPError
+from urllib.parse import quote
+
+
+class ServiceClientError(Exception):
+    """A non-2xx service response, carrying the decoded error body."""
+
+    def __init__(self, status: int, document: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: "
+                         f"{document.get('error', document)}")
+        self.status = status
+        self.document = document
+
+
+class ServiceClient:
+    """Talk to one running :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        req = urlrequest.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"}
+            if data is not None else {})
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                document = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                document = {"error": str(exc)}
+            raise ServiceClientError(exc.code, document) from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def target(self) -> Dict[str, Any]:
+        return self._call("GET", "/target")
+
+    def query(self, class_name: str) -> Dict[str, Any]:
+        return self._call("GET", f"/query?class={quote(class_name)}")
+
+    def check(self) -> Dict[str, Any]:
+        try:
+            return self._call("GET", "/check")
+        except ServiceClientError as exc:
+            if exc.status == 409:  # violations present is a report,
+                return exc.document  # not a transport failure
+            raise
+
+    def ingest(self, delta_document: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("POST", "/ingest", body=delta_document)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._call("POST", "/snapshot", body={})

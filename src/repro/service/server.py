@@ -1,0 +1,189 @@
+"""HTTP/JSON front end over one warm :class:`WarehouseSession`.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``): every request runs
+in its own thread, readers proceed concurrently under the session's
+read-write lock, and writers group-commit through its batcher.
+
+Endpoints::
+
+    GET  /health            liveness + current sequence number
+    GET  /stats             service, batching and store statistics
+    GET  /target            full target instance (JSON interchange)
+    GET  /query?class=C     one target class extent
+    GET  /check             live source-constraint violation set
+    POST /ingest            body: delta JSON (label-addressed) -> seq
+    POST /snapshot          compact the store (snapshot + WAL reset)
+
+Error mapping: malformed requests and undecodable deltas are 400,
+unknown routes/classes 404, a spent session 503, anything else 500 —
+all as ``{"error": ...}`` JSON documents.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..evolution.delta import DeltaError
+from ..store.store import StoreError
+from .session import ServiceError, WarehouseSession
+
+#: Cap on request bodies — a delta document, not a bulk load.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one warehouse session."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 session: WarehouseSession,
+                 verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.session = session
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(session: WarehouseSession, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ServiceServer:
+    """Bind a service server (``port=0`` picks an ephemeral port)."""
+    return ServiceServer((host, port), session, verbose=verbose)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer  # narrowed for route handlers
+    protocol_version = "HTTP/1.1"
+    # Response headers and body land in separate writes; without
+    # TCP_NODELAY, Nagle + the peer's delayed ACK turn every keep-alive
+    # request after the first into a ~40 ms stall.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, document: Dict[str, Any]) -> None:
+        body = json.dumps(document, indent=2, sort_keys=True
+                          ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Declared, not just done: the peer must know this
+            # keep-alive connection ends after the response.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            # The oversized body is not drained; leaving it queued
+            # would desynchronise the keep-alive connection (the next
+            # request would be parsed out of body bytes), so close.
+            self.close_connection = True
+            self._error(400, f"request body over {MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not JSON: {exc}")
+            return None
+        if not isinstance(document, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return document
+
+    def _dispatch(self, handler, *args) -> None:
+        try:
+            status, document = handler(*args)
+        except (DeltaError, StoreError) as exc:
+            self._error(400, str(exc))
+        except ServiceError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply(status, document)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        session = self.server.session
+        if parsed.path == "/health":
+            self._dispatch(lambda: self._health(session))
+        elif parsed.path == "/stats":
+            self._dispatch(lambda: (200, session.stats_json()))
+        elif parsed.path == "/target":
+            self._dispatch(lambda: (200, session.target_json()))
+        elif parsed.path == "/query":
+            params = parse_qs(parsed.query)
+            names = params.get("class")
+            if not names:
+                self._error(400, "query requires ?class=<TargetClass>")
+                return
+            self._dispatch(lambda: (200, session.query_json(names[0])))
+        elif parsed.path == "/check":
+            self._dispatch(lambda: self._check(session))
+        else:
+            self._error(404, f"no route {parsed.path}")
+
+    @staticmethod
+    def _health(session: WarehouseSession
+                ) -> Tuple[int, Dict[str, Any]]:
+        spent = session.spent
+        document = {"ok": spent is None, "seq": session.store.seq}
+        if spent is not None:
+            document["spent"] = spent
+        return (200 if spent is None else 503), document
+
+    @staticmethod
+    def _check(session: WarehouseSession
+               ) -> Tuple[int, Dict[str, Any]]:
+        document = session.check_json()
+        return (200 if document["ok"] else 409), document
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        session = self.server.session
+        if parsed.path == "/ingest":
+            document = self._read_body()
+            if document is None:
+                return
+            self._dispatch(lambda: self._ingest(session, document))
+        elif parsed.path == "/snapshot":
+            self._dispatch(lambda: (200, session.snapshot()))
+        else:
+            self._error(404, f"no route {parsed.path}")
+
+    @staticmethod
+    def _ingest(session: WarehouseSession, document: Dict[str, Any]
+                ) -> Tuple[int, Dict[str, Any]]:
+        result = session.ingest_json(document)
+        return 200, {
+            "seq": result.seq,
+            "applied_seq": result.applied_seq,
+            "batch_size": result.batch_size,
+            "violations": result.violations,
+        }

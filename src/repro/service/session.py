@@ -1,0 +1,286 @@
+"""The warm warehouse session: one compiled program, served many times.
+
+:class:`WarehouseSession` ties a :class:`~repro.store.WarehouseStore`
+to a :class:`~repro.morphase.system.Morphase` and keeps everything a
+request would otherwise pay for *warm* across requests: the compiled
+normal form, the planned join orders, the shared index pool, the
+incremental transform state (target + per-clause effect counts) and
+the incremental audit state (the live violation set).
+
+Construction rebuilds warmth from durable state the cheap way: one
+batch run over the store's *snapshot* instance, then the recovered WAL
+tail re-applied through the incremental engine — each replayed delta
+patches the index pool via ``IndexPool.rebase`` instead of rebuilding
+indexes from scratch.
+
+Writes group-commit: every ingested delta is individually durable (WAL
+append first), but a burst of deltas queued while a batch is applying
+is composed (:func:`repro.evolution.delta.compose_deltas`) and applied
+as *one* incremental step — callers block only until the batch holding
+their delta lands.  Reads (query/check/stats) share a
+writer-preferring read-write lock, so they run concurrently with each
+other and never observe a half-applied batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..evolution.delta import Delta, compose_deltas
+from ..io.json_io import instance_to_json
+from ..store.store import WarehouseStore
+from .locks import ReadWriteLock
+
+
+class ServiceError(Exception):
+    """Raised for session misuse or a spent (poisoned) session.
+
+    ``status`` is the HTTP status the front end should map this to:
+    404 for unknown names, 503 for a spent session, 500 for a
+    server-side apply failure observed by a waiting writer.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class IngestResult:
+    """What one acknowledged delta ingestion observed."""
+
+    seq: int                  #: WAL sequence number of this delta.
+    applied_seq: int          #: highest seq applied when we returned.
+    batch_size: int           #: deltas in the batch that landed ours.
+    violations: int           #: live violation count after the batch.
+
+
+@dataclass
+class SessionCounters:
+    """Service-level statistics (exposed by ``/stats``)."""
+
+    ingested: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    queries: int = 0
+    checks: int = 0
+    snapshots: int = 0
+    rebuild_ms: float = 0.0
+    replayed_on_open: int = 0
+    apply_ms_total: float = 0.0
+    last_batch_ms: float = 0.0
+    started_at: float = field(default_factory=time.time)
+
+
+class WarehouseSession:
+    """A long-lived, thread-safe Morphase serving session."""
+
+    def __init__(self, morphase, store: WarehouseStore,
+                 defaults: Optional[Dict] = None) -> None:
+        self.morphase = morphase
+        self.store = store
+        self.counters = SessionCounters()
+
+        start = time.perf_counter()
+        # Warm rebuild: batch-run once over the snapshot base, then
+        # drive the recovered WAL tail through the incremental engine —
+        # the index pool is rebased per delta, never rebuilt.
+        self.transform = morphase.begin_incremental(
+            store.base_instance, defaults=defaults)
+        self.audit = morphase.begin_incremental_audit(store.base_instance)
+        for _seq, delta in store.tail:
+            self.transform.apply_delta(delta)
+            self.audit.apply_delta(delta)
+        self.counters.replayed_on_open = len(store.tail)
+        self.counters.rebuild_ms = (time.perf_counter() - start) * 1000
+
+        self._state_lock = ReadWriteLock()
+        self._intake = threading.Lock()     # serialises WAL appends
+        self._cond = threading.Condition()  # batch hand-off
+        self._pending: List[Tuple[int, Delta]] = []
+        self._applying = False
+        self._applied_seq = store.seq
+        self._failure: Optional[str] = None
+        # Serialised target document, keyed by the applied sequence
+        # number it renders — the target only changes at batch
+        # boundaries, so reads between them share one encoding.
+        self._target_cache: Optional[Tuple[int, Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def ingest_json(self, data: Dict[str, Any]) -> IngestResult:
+        """Decode a label-addressed delta document and ingest it."""
+        with self._intake:
+            self._check_alive()
+            delta = self.store.decode_delta(data)
+            seq = self.store.append(delta)
+            if not delta.is_empty():
+                with self._cond:
+                    self._pending.append((seq, delta))
+        return self._await_applied(seq)
+
+    def ingest(self, delta: Delta) -> IngestResult:
+        """Durably ingest one delta (decoded form)."""
+        with self._intake:
+            self._check_alive()
+            seq = self.store.append(delta)
+            if not delta.is_empty():
+                with self._cond:
+                    self._pending.append((seq, delta))
+        return self._await_applied(seq)
+
+    @property
+    def spent(self) -> Optional[str]:
+        """Why the session can no longer apply writes (None = healthy)."""
+        return self._failure
+
+    def _check_alive(self) -> None:
+        if self._failure is not None:
+            raise ServiceError(
+                f"session is spent ({self._failure}); restart the "
+                f"service to rebuild from the store", status=503)
+
+    def _await_applied(self, seq: int) -> IngestResult:
+        """Group commit: one thread applies the whole queued burst."""
+        batch_size = 0
+        with self._cond:
+            while self._applied_seq < seq:
+                if self._failure is not None:
+                    raise ServiceError(
+                        f"delta batch failed to apply: {self._failure}",
+                        status=500)
+                if self._applying or not self._pending:
+                    self._cond.wait(timeout=0.5)
+                    continue
+                batch = self._pending
+                self._pending = []
+                self._applying = True
+                self._cond.release()
+                try:
+                    self._apply_batch(batch)
+                except Exception as exc:
+                    self._cond.acquire()
+                    self._applying = False
+                    self._failure = str(exc)
+                    self._cond.notify_all()
+                    raise
+                self._cond.acquire()
+                self._applying = False
+                self._applied_seq = batch[-1][0]
+                batch_size = len(batch)
+                self._cond.notify_all()
+        with self._state_lock.read():
+            violations = len(self.audit.violations())
+        return IngestResult(seq=seq, applied_seq=self._applied_seq,
+                            batch_size=batch_size,
+                            violations=violations)
+
+    def _apply_batch(self, batch: List[Tuple[int, Delta]]) -> None:
+        composed = reduce(compose_deltas,
+                          (delta for _seq, delta in batch))
+        start = time.perf_counter()
+        with self._state_lock.write():
+            self.transform.apply_delta(composed)
+            self.audit.apply_delta(composed)
+        elapsed = (time.perf_counter() - start) * 1000
+        self.counters.ingested += len(batch)
+        self.counters.batches += 1
+        self.counters.max_batch = max(self.counters.max_batch,
+                                      len(batch))
+        self.counters.apply_ms_total += elapsed
+        self.counters.last_batch_ms = elapsed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def target(self):
+        return self.transform.target
+
+    def _target_document(self) -> Dict[str, Any]:
+        """The serialised target, cached per applied batch.
+
+        Called under the read lock; concurrent rebuilds are idempotent
+        (same seq renders the same document) so the last writer
+        winning is harmless.
+        """
+        cached = self._target_cache
+        if cached is not None and cached[0] == self._applied_seq:
+            return cached[1]
+        document = instance_to_json(self.transform.target)
+        self._target_cache = (self._applied_seq, document)
+        return document
+
+    def target_json(self) -> Dict[str, Any]:
+        with self._state_lock.read():
+            self.counters.queries += 1
+            return self._target_document()
+
+    def query_json(self, class_name: str) -> Dict[str, Any]:
+        """The target extent of one class (dump-labelled entries)."""
+        with self._state_lock.read():
+            self.counters.queries += 1
+            target = self.transform.target
+            if not target.schema.has_class(class_name):
+                raise ServiceError(
+                    f"target schema has no class {class_name!r} "
+                    f"(classes: {', '.join(target.schema.class_names())})",
+                    status=404)
+            document = self._target_document()
+        return {"class": class_name,
+                "count": len(document["objects"][class_name]),
+                "objects": document["objects"][class_name]}
+
+    def check_json(self) -> Dict[str, Any]:
+        with self._state_lock.read():
+            self.counters.checks += 1
+            violations = self.audit.violations()
+        return {"ok": not violations,
+                "count": len(violations),
+                "violations": [str(v) for v in violations]}
+
+    def stats_json(self) -> Dict[str, Any]:
+        with self._state_lock.read():
+            counters = self.counters
+            mean_batch_ms = (counters.apply_ms_total / counters.batches
+                             if counters.batches else 0.0)
+            return {
+                "uptime_seconds": round(
+                    time.time() - counters.started_at, 3),
+                "seq": self.store.seq,
+                "applied_seq": self._applied_seq,
+                "ingested": counters.ingested,
+                "batches": counters.batches,
+                "max_batch": counters.max_batch,
+                "mean_batch_ms": round(mean_batch_ms, 3),
+                "last_batch_ms": round(counters.last_batch_ms, 3),
+                "queries": counters.queries,
+                "checks": counters.checks,
+                "snapshots": counters.snapshots,
+                "rebuild_ms": round(counters.rebuild_ms, 3),
+                "replayed_on_open": counters.replayed_on_open,
+                "spent": self._failure,
+                "store": self.store.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Compact the store at the current sequence number."""
+        with self._intake:
+            with self._cond:
+                while (self._applied_seq < self.store.seq
+                       and self._failure is None):
+                    self._cond.wait(timeout=0.5)
+            name = self.store.snapshot()
+            self.counters.snapshots += 1
+            return {"snapshot": name, "base_seq": self.store.base_seq}
+
+    def close(self) -> None:
+        self.store.close()

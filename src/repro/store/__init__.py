@@ -1,0 +1,22 @@
+"""Durable warehouse store: snapshots + write-ahead delta log.
+
+The paper's Morphase is an operational system — transformation programs
+are compiled once and run "many times" against *evolving* sources
+(Section 6).  This package makes the evolving source durable: a store
+directory holds content-addressed snapshots of the instance plus an
+append-only write-ahead log of :class:`~repro.evolution.delta.Delta`
+records (label-addressed JSON, so anonymous object identities survive
+restarts).  Opening a store replays the WAL tail over the latest
+snapshot — tolerating a torn final record — and yields exactly the
+instance an uninterrupted process would hold.
+"""
+
+from .wal import TornTail, WalError, WalRecord, WriteAheadLog
+from .snapshot import LabelMap, SnapshotError, load_snapshot, write_snapshot
+from .store import StoreError, WarehouseStore
+
+__all__ = [
+    "TornTail", "WalError", "WalRecord", "WriteAheadLog",
+    "LabelMap", "SnapshotError", "load_snapshot", "write_snapshot",
+    "StoreError", "WarehouseStore",
+]

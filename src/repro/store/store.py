@@ -1,0 +1,281 @@
+"""The durable warehouse store: snapshot + WAL, recovery, compaction.
+
+A store directory is one evolving source instance made durable::
+
+    store/
+      CURRENT.json            -> which snapshot + WAL are live
+      snap-<sha256>.json      content-addressed instance snapshots
+      wal.jsonl               append-only delta log (label-addressed)
+
+Writes are deltas (:meth:`WarehouseStore.append`): validated against
+the in-memory instance, encoded with durable labels, appended to the
+WAL, then applied.  Reads are the in-memory ``instance`` — the store
+is the system of record for the *source*; transformed targets are
+derived state the service layer keeps warm.
+
+Recovery (:meth:`WarehouseStore.open`) replays the WAL tail over the
+latest snapshot: records at or below the snapshot's ``base_seq`` are
+skipped (a crash between manifest flip and WAL reset leaves them
+behind), a torn final record is dropped and truncated away, and any
+other damage refuses loudly.  The replayed tail is kept as
+``tail`` — the service layer re-applies it through the incremental
+engine so the warm index pool is rebuilt via the existing ``rebase``
+path instead of from scratch.
+
+Compaction (:meth:`WarehouseStore.snapshot`) writes a new snapshot at
+the current sequence number, atomically repoints ``CURRENT``, resets
+the WAL and prunes unreferenced snapshots.  Every step is
+crash-ordered: interrupt it anywhere and reopening yields the same
+instance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..evolution.delta import Delta, delta_from_json, delta_to_json
+from ..model.instance import Instance
+from .snapshot import (CURRENT_NAME, LabelMap, load_snapshot,
+                       read_current, write_current, write_snapshot)
+from .wal import TornTail, WriteAheadLog
+
+WAL_NAME = "wal.jsonl"
+
+
+class StoreError(Exception):
+    """Raised on store misuse or unrecoverable on-disk damage."""
+
+
+class WarehouseStore:
+    """One durable source instance under append-only delta writes."""
+
+    def __init__(self, path: str, wal: WriteAheadLog,
+                 instance: Instance, seq: int, base_seq: int,
+                 snapshot_file: str, labels: LabelMap,
+                 base_instance: Instance,
+                 tail: List[Tuple[int, Delta]],
+                 recovered_torn: Optional[TornTail] = None) -> None:
+        self.path = path
+        self.wal = wal
+        self.instance = instance
+        self.seq = seq
+        self.base_seq = base_seq
+        self.snapshot_file = snapshot_file
+        self.labels = labels
+        #: Instance the live snapshot holds (the warm-rebuild base).
+        self.base_instance = base_instance
+        #: Deltas applied since the live snapshot, in sequence order.
+        self.tail = tail
+        #: The torn final WAL record recovery dropped, if any.
+        self.recovered_torn = recovered_torn
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def exists(path: str) -> bool:
+        return os.path.exists(os.path.join(path, CURRENT_NAME))
+
+    @classmethod
+    def create(cls, path: str, instance: Instance,
+               fsync: bool = False) -> "WarehouseStore":
+        """Initialise a store directory with ``instance`` as snapshot 0."""
+        if cls.exists(path):
+            raise StoreError(f"{path} already holds a warehouse store")
+        os.makedirs(path, exist_ok=True)
+        name = write_snapshot(path, instance, base_seq=0)
+        wal = WriteAheadLog(os.path.join(path, WAL_NAME), fsync=fsync)
+        wal.reset()
+        write_current(path, name, base_seq=0, wal=WAL_NAME)
+        return cls(path, wal, instance, seq=0, base_seq=0,
+                   snapshot_file=name,
+                   labels=LabelMap.derived_from_dump(instance),
+                   base_instance=instance, tail=[])
+
+    @classmethod
+    def open(cls, path: str, fsync: bool = False) -> "WarehouseStore":
+        """Recover: latest snapshot + WAL tail, torn final record dropped."""
+        manifest = read_current(path)
+        instance, base_seq, labels = load_snapshot(
+            path, manifest["snapshot"])
+        base_instance = instance
+        wal = WriteAheadLog(os.path.join(path, manifest["wal"]),
+                            fsync=fsync)
+        records, torn = wal.replay()
+        tail: List[Tuple[int, Delta]] = []
+        seq = base_seq
+        for record in records:
+            if record.seq <= base_seq:
+                # Subsumed by the snapshot: a crash between the
+                # manifest flip and the WAL reset leaves these behind.
+                continue
+            if record.seq != seq + 1:
+                raise StoreError(
+                    f"WAL gap: expected seq {seq + 1}, found "
+                    f"{record.seq} — records were lost mid-log")
+            captured: Dict[Tuple[str, str], Any] = {}
+            delta = delta_from_json(record.payload, instance,
+                                    labels=labels.by_label,
+                                    capture_labels=captured)
+            labels.absorb(captured)
+            instance = delta.apply_to(instance)
+            tail.append((record.seq, delta))
+            seq = record.seq
+        if torn is not None:
+            wal.truncate_at(torn.offset)
+        return cls(path, wal, instance, seq=seq, base_seq=base_seq,
+                   snapshot_file=manifest["snapshot"], labels=labels,
+                   base_instance=base_instance, tail=tail,
+                   recovered_torn=torn)
+
+    @classmethod
+    def open_or_create(cls, path: str,
+                       initial: Optional[Instance] = None,
+                       fsync: bool = False) -> "WarehouseStore":
+        if cls.exists(path):
+            return cls.open(path, fsync=fsync)
+        if initial is None:
+            raise StoreError(
+                f"{path} holds no store and no initial instance was "
+                f"given to create one")
+        return cls.create(path, initial, fsync=fsync)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, delta: Delta) -> int:
+        """Durably apply one delta; returns its WAL sequence number.
+
+        Validation happens *before* the WAL append — an inapplicable
+        delta (unknown oid, type error, dangling reference) must never
+        be acknowledged into the log, or recovery would refuse the
+        whole store.
+        """
+        if delta.is_empty():
+            return self.seq
+        seq = self.seq + 1
+        updated = delta.apply_to(self.instance)
+        payload = delta_to_json(delta, oid_encoder=self.labels.encoder(seq))
+        self.wal.append(seq, payload)
+        self.instance = updated
+        self.seq = seq
+        self.tail.append((seq, delta))
+        self.appended += 1
+        return seq
+
+    def decode_delta(self, data: Dict[str, Any]) -> Delta:
+        """Decode a label-addressed delta JSON against this store.
+
+        Labels the document introduces (freshly inserted anonymous
+        objects) are absorbed into the store's map, so the caller's
+        chosen label stays the durable address of the new object — the
+        WAL encoder reuses it instead of minting another.
+        """
+        captured: Dict[Tuple[str, str], Any] = {}
+        delta = delta_from_json(data, self.instance,
+                                labels=self.labels.by_label,
+                                capture_labels=captured)
+        self.labels.absorb(captured)
+        return delta
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def snapshot(self, prune: bool = True) -> str:
+        """Write a snapshot at the current state; reset the WAL.
+
+        Crash-ordering: the new snapshot lands fully (content-addressed,
+        fsynced) before ``CURRENT`` flips to it, and the WAL reset comes
+        last — replay skips records the snapshot subsumed, so dying
+        between any two steps loses nothing.
+        """
+        name = write_snapshot(self.path, self.instance, self.seq)
+        write_current(self.path, name, base_seq=self.seq, wal=WAL_NAME)
+        self.wal.reset()
+        self.snapshot_file = name
+        self.base_seq = self.seq
+        self.base_instance = self.instance
+        self.tail = []
+        self.labels = LabelMap.derived_from_dump(self.instance)
+        if prune:
+            self._prune_snapshots(keep=name)
+        return name
+
+    def _prune_snapshots(self, keep: str) -> None:
+        for entry in os.listdir(self.path):
+            if (entry.startswith("snap-") and entry.endswith(".json")
+                    and entry != keep):
+                try:
+                    os.remove(os.path.join(self.path, entry))
+                except OSError:
+                    pass  # pruning is garbage collection, not integrity
+
+    # ------------------------------------------------------------------
+    # Canonical serialisation
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> Dict[str, Any]:
+        """The instance rendered with *durable* object addresses.
+
+        :func:`repro.io.json_io.instance_to_json` labels anonymous
+        objects by sorted process-local serials, so its output is only
+        canonical within one process.  This rendering addresses every
+        anonymous object by its store label and orders entries by that
+        durable address — two stores holding the same logical state
+        produce byte-identical documents no matter how many
+        crash/reopen cycles minted their serials.  The differential
+        recovery tests pin exactly this.
+        """
+        import json as _json
+
+        from ..io.json_io import schema_to_json, value_to_json
+
+        def encode_oid(oid: Any) -> Dict[str, Any]:
+            if oid.is_keyed:
+                return {"$oid": oid.class_name,
+                        "key": value_to_json(oid.key)}
+            label = self.labels.by_oid.get(oid)
+            if label is None:
+                raise StoreError(
+                    f"{oid} has no durable label — it never entered "
+                    f"the store through a snapshot or delta")
+            return {"$oid": oid.class_name, "label": label}
+
+        objects: Dict[str, Any] = {}
+        for cname in self.instance.schema.class_names():
+            entries = []
+            for oid in self.instance.objects_of(cname):
+                identity = encode_oid(oid)
+                entries.append((_json.dumps(identity, sort_keys=True), {
+                    "id": identity,
+                    "value": value_to_json(self.instance.value_of(oid),
+                                           encode_oid),
+                }))
+            objects[cname] = [entry for _, entry in sorted(
+                entries, key=lambda item: item[0])]
+        return {"format": 1, "seq": self.seq,
+                "schema": schema_to_json(self.instance.schema),
+                "objects": objects}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "seq": self.seq,
+            "base_seq": self.base_seq,
+            "snapshot": self.snapshot_file,
+            "wal_records": len(self.tail),
+            "wal_bytes": self.wal.size_bytes(),
+            "appended": self.appended,
+            "recovered_torn": self.recovered_torn is not None,
+            "classes": self.instance.class_sizes(),
+        }
+
+
+__all__ = ["StoreError", "WarehouseStore", "WAL_NAME"]

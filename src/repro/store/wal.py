@@ -1,0 +1,180 @@
+"""Append-only write-ahead log of JSON records.
+
+One record per line: compact JSON carrying a monotonically increasing
+sequence number, the payload, and a CRC-32 of the canonical payload
+text.  The format is chosen for its failure behaviour, not elegance —
+a crash mid-append leaves a *torn* final line (no newline, or a JSON
+prefix, or a checksum mismatch), and replay must distinguish that
+expected tear from corruption in the middle of the log:
+
+* a damaged **final** record is tolerated: replay returns every intact
+  record before it plus a :class:`TornTail` describing where the log
+  stops making sense, and the opener truncates the file there so new
+  appends never interleave with garbage;
+* a damaged record **followed by an intact one** cannot be a torn
+  append (appends are sequential) and raises :class:`WalError`.
+
+Durability of an append is a single ``write`` + ``flush`` (+ optional
+``fsync``); sequence numbers come from the caller so the log composes
+with the snapshot's ``base_seq`` watermark (records at or below it are
+skipped on replay instead of double-applied after a compaction race).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class WalError(Exception):
+    """Raised on corruption that cannot be a torn final append."""
+
+
+def _crc(payload_text: str) -> int:
+    return zlib.crc32(payload_text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One intact log record."""
+
+    seq: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """Where an interrupted final append left the log.
+
+    ``offset`` is the byte position of the first damaged record —
+    truncating the file there yields a log of intact records only.
+    """
+
+    offset: int
+    reason: str
+
+
+class WriteAheadLog:
+    """The append-only delta log backing one warehouse store."""
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, seq: int, payload: Any) -> None:
+        """Durably append one record (flushed before returning).
+
+        A failed write (disk full, I/O error) truncates the file back
+        to its pre-append length before re-raising: leaving partial
+        bytes behind would turn the *next* successful append into
+        mid-log corruption — a damaged record followed by an intact
+        one — which replay rightly refuses to recover.
+        """
+        text = _canonical(payload)
+        line = _canonical({"seq": seq, "crc": _crc(text),
+                           "payload": payload}) + "\n"
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        try:
+            before = os.path.getsize(self.path)
+        except OSError:
+            before = 0
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except Exception:
+            try:
+                self.truncate_at(before)
+            except OSError:
+                pass  # the truncate is best-effort damage control
+            raise
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _scan(self) -> Iterator[Tuple[int, bytes, bool]]:
+        """Yield ``(offset, line, complete)`` per physical line."""
+        with open(self.path, "rb") as handle:
+            offset = 0
+            for line in handle:
+                complete = line.endswith(b"\n")
+                yield offset, line.rstrip(b"\n"), complete
+                offset += len(line)
+
+    @staticmethod
+    def _decode(line: bytes) -> Tuple[Optional[WalRecord], str]:
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None, "unparseable record"
+        if not (isinstance(record, dict) and "seq" in record
+                and "crc" in record and "payload" in record):
+            return None, "record missing seq/crc/payload"
+        if _crc(_canonical(record["payload"])) != record["crc"]:
+            return None, "checksum mismatch"
+        return WalRecord(int(record["seq"]), record["payload"]), ""
+
+    def replay(self) -> Tuple[List[WalRecord], Optional[TornTail]]:
+        """All intact records, plus the torn tail if the log has one.
+
+        Raises :class:`WalError` when a damaged record is *followed* by
+        an intact one — that is mid-log corruption, not a torn append,
+        and silently dropping acknowledged records would be data loss.
+        """
+        if not os.path.exists(self.path):
+            return [], None
+        records: List[WalRecord] = []
+        torn: Optional[TornTail] = None
+        for offset, line, complete in self._scan():
+            record, problem = (self._decode(line) if complete
+                               else (None, "no trailing newline"))
+            if record is None:
+                if torn is None:
+                    torn = TornTail(offset, problem)
+                continue
+            if torn is not None:
+                raise WalError(
+                    f"{self.path}: damaged record at byte "
+                    f"{torn.offset} ({torn.reason}) is followed by an "
+                    f"intact one — the log is corrupt, not torn")
+            records.append(record)
+        return records, torn
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def truncate_at(self, offset: int) -> None:
+        """Drop everything from ``offset`` on (torn-tail cleanup)."""
+        self.close()
+        with open(self.path, "rb+") as handle:
+            handle.truncate(offset)
+
+    def reset(self) -> None:
+        """Empty the log (after a snapshot subsumed its records)."""
+        self.close()
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0

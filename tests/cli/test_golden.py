@@ -201,3 +201,101 @@ class TestApplyDeltaGolden:
                          {"stats.elapsed_ms": "<elapsed>",
                           "target.path": "<out>"})
         compare_to_golden("apply_delta_cities.json", rendered)
+
+
+GENOME_GENE_DELTA = {
+    "inserts": {
+        "Gene": [{
+            "id": {"$oid": "Gene",
+                   "key": {"$rec": {"name": "G-golden"}}},
+            "value": {"$rec": {
+                "name": "G-golden",
+                "symbol": {"$set": ["gld-1"]},
+                "description": {"$set": ["golden gene"]}}}}],
+    }}
+
+
+@pytest.fixture()
+def genome_store(tmp_path):
+    """A genome store (all-keyed oids, so every byte is deterministic)
+    with one snapshot generation and two WAL records."""
+    from repro.evolution.delta import delta_from_json
+    from repro.store import WarehouseStore
+    from repro.workloads import genome
+
+    source = genome.source_instance()
+    store = WarehouseStore.create(str(tmp_path / "store"), source)
+    store.append(store.decode_delta(GENOME_GENE_DELTA))
+    second = json.loads(json.dumps(GENOME_GENE_DELTA).replace(
+        "G-golden", "G-golden2"))
+    store.append(delta_from_json(second, store.instance))
+    store.close()
+    return tmp_path
+
+
+def scrub_text(rendered: str, replacements) -> str:
+    for needle, placeholder in replacements.items():
+        assert needle in rendered, (
+            f"expected {needle!r} in CLI output")
+        rendered = rendered.replace(needle, placeholder)
+    return rendered
+
+
+class TestStoreGoldens:
+    def test_serve_help(self, capsys, monkeypatch):
+        """The serve surface is API: flags may be added, not drifted.
+
+        Whitespace is normalised before comparison so argparse wrap
+        changes across Python versions do not masquerade as drift.
+        """
+        monkeypatch.setenv("COLUMNS", "80")
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        normalized = " ".join(out.split()) + "\n"
+        compare_to_golden("serve_help.txt", normalized)
+
+    def test_snapshot_init_golden(self, tmp_path, capsys):
+        from repro.io import dump_instance
+        from repro.workloads import genome
+        dump_instance(genome.source_instance(),
+                      str(tmp_path / "genome.json"))
+        code = main(["snapshot", "--store", str(tmp_path / "store"),
+                     "--data", str(tmp_path / "genome.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        rendered = scrub_text(out, {str(tmp_path / "store"): "<store>"})
+        compare_to_golden("snapshot_genome.txt", rendered)
+
+    def test_snapshot_compact_golden(self, genome_store, capsys):
+        code = main(["snapshot", "--store",
+                     str(genome_store / "store")])
+        out = capsys.readouterr().out
+        assert code == 0
+        rendered = scrub_text(
+            out, {str(genome_store / "store"): "<store>"})
+        compare_to_golden("snapshot_compact_genome.txt", rendered)
+
+    def test_replay_json_golden(self, genome_store, capsys):
+        code = main(["replay", "--store", str(genome_store / "store"),
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rendered = scrub(json.loads(out),
+                         {"store": "<store>"})
+        compare_to_golden("replay_genome.json", rendered)
+
+    def test_store_format_roundtrip_golden(self, genome_store):
+        """The canonical store serialisation is the durable format —
+        pin it, and pin that a reopened store reproduces it exactly."""
+        from repro.store import WarehouseStore
+        store = WarehouseStore.open(str(genome_store / "store"))
+        rendered = json.dumps(store.canonical_json(), indent=2,
+                              sort_keys=True) + "\n"
+        compare_to_golden("store_canonical_genome.json", rendered)
+        again = WarehouseStore.open(str(genome_store / "store"))
+        assert json.dumps(again.canonical_json(), indent=2,
+                          sort_keys=True) + "\n" == rendered
+        store.close()
+        again.close()

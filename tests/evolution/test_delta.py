@@ -4,9 +4,9 @@ import json
 
 import pytest
 
-from repro.evolution.delta import (Delta, DeltaError, delta_between,
-                                   delta_from_json, delta_to_json,
-                                   dump_delta, load_delta)
+from repro.evolution.delta import (Delta, DeltaError, compose_deltas,
+                                   delta_between, delta_from_json,
+                                   delta_to_json, dump_delta, load_delta)
 from repro.io.json_io import instance_to_json
 from repro.model import Record, WolSet, parse_schema
 from repro.model.instance import InstanceBuilder
@@ -266,3 +266,96 @@ class TestJsonRoundTrip:
             (oid,) = next(iter(delta.updates["Item"].items()))[:1]
             assert reloaded.value_of(oid) == Record.of(name=name), (
                 f"label {label} resolved to the wrong object")
+
+
+class TestCompose:
+    """compose_deltas(a, b).apply_to(i) == b.apply_to(a.apply_to(i))."""
+
+    def check(self, first, second):
+        instance = base_instance()
+        sequential = second.apply_to(first.apply_to(instance))
+        composed = compose_deltas(first, second)
+        assert delta_between(composed.apply_to(instance),
+                             sequential).is_empty()
+        return composed
+
+    def test_insert_then_update_collapses_to_insert(self):
+        oid, value = product("S9", "New", 5)
+        first = Delta(inserts={"Product": {oid: value}})
+        second = Delta(updates={"Product": {
+            oid: value.with_field("price", 6)}})
+        composed = self.check(first, second)
+        assert oid in composed.inserts["Product"]
+        assert not composed.updates
+
+    def test_insert_then_delete_cancels(self):
+        oid, value = product("S9")
+        composed = self.check(
+            Delta(inserts={"Product": {oid: value}}),
+            Delta(deletes={"Product": (oid,)}))
+        assert composed.is_empty()
+
+    def test_update_then_update_last_wins(self):
+        oid, value = product("S1", "Widget", 11)
+        composed = self.check(
+            Delta(updates={"Product": {oid: value}}),
+            Delta(updates={"Product": {
+                oid: value.with_field("price", 12)}}))
+        assert composed.updates["Product"][oid].get("price") == 12
+
+    def test_update_then_delete_is_delete(self):
+        oid, value = product("S1", "Widget", 11)
+        vendor = Oid.keyed("Vendor", Record.of(name="Acme"))
+        p2, _ = product("S2")
+        composed = compose_deltas(
+            Delta(updates={"Product": {oid: value},
+                           "Vendor": {vendor: Record.of(
+                               name="Acme",
+                               products=WolSet.of(p2))}}),
+            Delta(deletes={"Product": (oid,)}))
+        assert composed.deletes == {"Product": (oid,)}
+        assert oid not in composed.updates.get("Product", {})
+        instance = base_instance()
+        assert delta_between(
+            composed.apply_to(instance),
+            Delta(deletes={"Product": (oid,)}).apply_to(
+                Delta(updates={"Product": {oid: value},
+                               "Vendor": {vendor: Record.of(
+                                   name="Acme",
+                                   products=WolSet.of(p2))}}
+                      ).apply_to(instance))).is_empty()
+
+    def test_delete_then_reinsert_is_update(self):
+        oid, value = product("S1", "Reborn", 99)
+        vendor = Oid.keyed("Vendor", Record.of(name="Acme"))
+        p2, _ = product("S2")
+        drop_ref = Delta(
+            deletes={"Product": (oid,)},
+            updates={"Vendor": {vendor: Record.of(
+                name="Acme", products=WolSet.of(p2))}})
+        composed = self.check(
+            drop_ref, Delta(inserts={"Product": {oid: value}}))
+        assert composed.updates["Product"][oid] == value
+        assert not composed.deletes
+
+    def test_invalid_sequences_refuse(self):
+        oid, value = product("S1")
+        present = Delta(updates={"Product": {oid: value}})
+        with pytest.raises(DeltaError, match="still present"):
+            compose_deltas(present,
+                           Delta(inserts={"Product": {oid: value}}))
+        gone = Delta(deletes={"Product": (oid,)})
+        with pytest.raises(DeltaError, match="deleted by the first"):
+            compose_deltas(gone,
+                           Delta(updates={"Product": {oid: value}}))
+        with pytest.raises(DeltaError, match="deleted by both"):
+            compose_deltas(gone, Delta(deletes={"Product": (oid,)}))
+
+    def test_disjoint_classes_union(self):
+        p9, v9 = product("S9")
+        vendor = Oid.keyed("Vendor", Record.of(name="Bmce"))
+        composed = self.check(
+            Delta(inserts={"Product": {p9: v9}}),
+            Delta(inserts={"Vendor": {vendor: Record.of(
+                name="Bmce", products=WolSet.of(p9))}}))
+        assert set(composed.inserts) == {"Product", "Vendor"}

@@ -1,0 +1,207 @@
+"""HTTP front-end tests: the service smoke the CI job also runs.
+
+A real ``ThreadingHTTPServer`` on an ephemeral port, driven through
+:class:`repro.service.client.ServiceClient` — request/response shapes,
+error mapping, and the differential guarantee observed *through the
+wire*: the served target always equals a cold batch transform of the
+store's final instance.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.io.json_io import instance_to_json
+from repro.morphase import Morphase
+from repro.service import ServiceClient, ServiceClientError, make_server
+from repro.workloads import cities
+
+INSERT_DELTA = {"inserts": {
+    "CountryE": [{"id": {"$oid": "CountryE", "label": "CountryE#new"},
+                  "value": {"$rec": {"name": "Utopia", "language": "u",
+                                     "currency": "UTO"}}}],
+    "CityE": [{"id": {"$oid": "CityE", "label": "CityE#new"},
+               "value": {"$rec": {"name": "Nowhere", "is_capital": True,
+                                  "country": {"$oid": "CountryE",
+                                              "label": "CountryE#new"}}}}],
+}}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    morphase = Morphase([cities.us_schema(), cities.euro_schema()],
+                        cities.target_schema(), cities.PROGRAM_TEXT)
+    store = morphase.open_store(
+        str(tmp_path_factory.mktemp("service") / "store"),
+        [cities.sample_us_instance(), cities.sample_euro_instance()])
+    session = morphase.serve(store)
+    server = make_server(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield morphase, session, ServiceClient(server.url)
+    server.shutdown()
+    server.server_close()
+    session.close()
+
+
+class TestEndpoints:
+    def test_health(self, service):
+        _, _, client = service
+        document = client.health()
+        assert document["ok"] is True and "seq" in document
+
+    def test_ingest_then_query_matches_cold_batch(self, service):
+        morphase, session, client = service
+        before = client.health()["seq"]
+        result = client.ingest(INSERT_DELTA)
+        assert result["seq"] == before + 1
+        assert result["applied_seq"] >= result["seq"]
+        served = client.target()
+        cold = morphase.transform(session.store.instance).target
+        assert json.dumps(served, sort_keys=True) \
+            == json.dumps(instance_to_json(cold), sort_keys=True)
+
+    def test_query_single_class(self, service):
+        _, session, client = service
+        document = client.query("CountryT")
+        assert document["class"] == "CountryT"
+        assert document["count"] == len(document["objects"])
+        assert document["count"] \
+            == len(session.target.objects_of("CountryT"))
+
+    def test_check_reports_ok(self, service):
+        _, _, client = service
+        document = client.check()
+        assert document["ok"] is True and document["violations"] == []
+
+    def test_stats_counts_requests(self, service):
+        _, _, client = service
+        stats = client.stats()
+        assert stats["seq"] == stats["applied_seq"]
+        assert stats["store"]["path"]
+
+    def test_snapshot_compacts(self, service):
+        _, session, client = service
+        document = client.snapshot()
+        assert document["base_seq"] == session.store.seq
+        assert session.store.wal.size_bytes() == 0
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client._call("GET", "/nothing")
+        assert info.value.status == 404
+
+    def test_unknown_class_404(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client.query("Nonsense")
+        assert info.value.status == 404
+        assert "no class" in info.value.document["error"]
+
+    def test_bad_body_400(self, service):
+        _, _, client = service
+        import urllib.request
+        request = urllib.request.Request(
+            client.base_url + "/ingest", data=b"not json",
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_undecodable_delta_400(self, service):
+        _, _, client = service
+        bad = {"updates": {"CountryE": [
+            {"id": {"$oid": "CountryE", "label": "CountryE#ghost"},
+             "value": {"$rec": {"name": "X", "language": "x",
+                                "currency": "X"}}}]}}
+        with pytest.raises(ServiceClientError) as info:
+            client.ingest(bad)
+        assert info.value.status == 400
+        assert "cannot update" in info.value.document["error"]
+
+    def test_missing_query_parameter_400(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client._call("GET", "/query")
+        assert info.value.status == 400
+
+
+class TestConcurrency:
+    def test_readers_and_writers_interleave(self, service):
+        morphase, session, client = service
+        errors = []
+
+        def writer(tag):
+            try:
+                client.ingest({"inserts": {"CountryE": [
+                    {"id": {"$oid": "CountryE",
+                            "label": f"CountryE#load{tag}"},
+                     "value": {"$rec": {"name": f"Load{tag}",
+                                        "language": f"l{tag}",
+                                        "currency": f"L{tag}"}}}]}})
+            except Exception as exc:  # pragma: no cover - fails test
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(5):
+                    client.query("CountryT")
+                    client.stats()
+            except Exception as exc:  # pragma: no cover - fails test
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer, args=(t,))
+                    for t in range(6)]
+                   + [threading.Thread(target=reader)
+                      for _ in range(4)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        served = client.target()
+        cold = morphase.transform(session.store.instance).target
+        assert json.dumps(served, sort_keys=True) \
+            == json.dumps(instance_to_json(cold), sort_keys=True)
+
+
+class TestHealthAndSpentMapping:
+    def test_spent_session_reports_unhealthy(self, service):
+        _, session, client = service
+        assert client.health()["ok"] is True
+        session._failure = "induced for test"
+        try:
+            with pytest.raises(ServiceClientError) as info:
+                client.health()
+            assert info.value.status == 503
+            assert info.value.document["ok"] is False
+            assert "induced" in info.value.document["spent"]
+            with pytest.raises(ServiceClientError) as info:
+                client.ingest(INSERT_DELTA)
+            assert info.value.status == 503
+        finally:
+            session._failure = None
+        assert client.health()["ok"] is True
+
+    def test_oversized_body_closes_connection(self, service):
+        """An undrained over-limit body must not desynchronise
+        keep-alive: the server closes the connection after the 400."""
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+        _, _, client = service
+        host, port = client.base_url.replace("http://", "").split(":")
+        conn = http.client.HTTPConnection(host, int(port))
+        conn.putrequest("POST", "/ingest")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+        conn.endheaders()
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 400 and b"over" in body
+        assert response.will_close
+        conn.close()

@@ -1,0 +1,153 @@
+"""Write-ahead log unit tests: append/replay, torn tails, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.store.wal import TornTail, WalError, WriteAheadLog
+
+
+@pytest.fixture()
+def wal(tmp_path):
+    return WriteAheadLog(str(tmp_path / "wal.jsonl"))
+
+
+def fill(wal, count=3):
+    for seq in range(1, count + 1):
+        wal.append(seq, {"n": seq, "blob": "x" * seq})
+    wal.close()
+
+
+class TestRoundTrip:
+    def test_append_then_replay(self, wal):
+        fill(wal, 3)
+        records, torn = wal.replay()
+        assert torn is None
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert records[2].payload == {"n": 3, "blob": "xxx"}
+
+    def test_missing_file_is_empty(self, wal):
+        records, torn = wal.replay()
+        assert records == [] and torn is None
+
+    def test_reset_empties(self, wal):
+        fill(wal, 2)
+        wal.reset()
+        assert wal.replay() == ([], None)
+        assert wal.size_bytes() == 0
+
+    def test_append_after_reopen_continues(self, wal):
+        fill(wal, 2)
+        again = WriteAheadLog(wal.path)
+        again.append(3, {"n": 3})
+        again.close()
+        records, torn = again.replay()
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert torn is None
+
+
+class TestTornTail:
+    def truncated(self, wal, drop_bytes):
+        fill(wal, 3)
+        size = os.path.getsize(wal.path)
+        with open(wal.path, "rb+") as handle:
+            handle.truncate(size - drop_bytes)
+        return wal
+
+    def test_torn_final_record_tolerated(self, wal):
+        self.truncated(wal, drop_bytes=5)
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1, 2]
+        assert isinstance(torn, TornTail)
+
+    def test_truncate_at_cleans_tail(self, wal):
+        self.truncated(wal, drop_bytes=5)
+        _, torn = wal.replay()
+        wal.truncate_at(torn.offset)
+        records, torn_after = wal.replay()
+        assert [r.seq for r in records] == [1, 2]
+        assert torn_after is None
+
+    def test_append_after_cleanup(self, wal):
+        self.truncated(wal, drop_bytes=5)
+        _, torn = wal.replay()
+        wal.truncate_at(torn.offset)
+        wal.append(3, {"n": "again"})
+        wal.close()
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert torn is None
+
+    def test_truncation_to_exact_boundary_is_clean(self, wal):
+        fill(wal, 3)
+        with open(wal.path, "rb") as handle:
+            lines = handle.readlines()
+        with open(wal.path, "rb+") as handle:
+            handle.truncate(len(lines[0]) + len(lines[1]))
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1, 2]
+        assert torn is None
+
+
+class TestCorruption:
+    def test_checksum_mismatch_in_tail_is_torn(self, wal):
+        fill(wal, 2)
+        with open(wal.path, "rb") as handle:
+            lines = handle.readlines()
+        record = json.loads(lines[1])
+        record["payload"] = {"n": "tampered"}
+        lines[1] = (json.dumps(record).encode() + b"\n")
+        with open(wal.path, "wb") as handle:
+            handle.writelines(lines)
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1]
+        assert torn is not None and "checksum" in torn.reason
+
+    def test_damage_before_intact_record_raises(self, wal):
+        fill(wal, 3)
+        with open(wal.path, "rb") as handle:
+            lines = handle.readlines()
+        lines[1] = b"garbage that is not json\n"
+        with open(wal.path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(WalError, match="corrupt, not torn"):
+            wal.replay()
+
+    def test_non_object_line_is_damage(self, wal):
+        fill(wal, 1)
+        with open(wal.path, "ab") as handle:
+            handle.write(b"[1, 2, 3]\n")
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1]
+        assert torn is not None
+
+
+class TestFailedAppend:
+    def test_failed_write_truncates_back(self, wal):
+        """A write error mid-append must not leave partial bytes:
+        the next successful append would otherwise turn the tear into
+        mid-log corruption that replay refuses."""
+        fill(wal, 2)
+        wal.append(3, {"n": 3})  # opens the handle
+
+        class ExplodingHandle:
+            def __init__(self, real):
+                self.real = real
+
+            def write(self, text):
+                self.real.write(text[: len(text) // 2])
+                self.real.flush()
+                raise OSError("disk full")
+
+            def __getattr__(self, name):
+                return getattr(self.real, name)
+
+        wal._handle = ExplodingHandle(wal._handle)
+        with pytest.raises(OSError, match="disk full"):
+            wal.append(4, {"n": 4, "blob": "y" * 50})
+        # the partial record is gone; appending and replaying both work
+        wal.append(4, {"n": 4})
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+        assert torn is None
