@@ -60,7 +60,7 @@ def test_compile_ratio_shape(bench_report, benchmark):
     assert all(1.5 <= ratio <= 20 for ratio in ratios), ratios
     benchmark.extra_info["ratios"] = ratios
     for width, raw_ms, base_ms, ratio in rows:
-        bench_report.record(f"width_{width}", sizes=dict(width=width),
+        bench_report.record(f"width_{width}", sizes={"width": width},
                             non_normalised_ms=raw_ms,
                             normalised_ms=base_ms, ratio=ratio)
 

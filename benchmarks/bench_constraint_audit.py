@@ -25,8 +25,8 @@ from repro.morphase import Morphase
 from repro.workloads import genome, relibase
 
 #: Default genome workload size for the headline comparison.
-GENOME_SIZE = dict(genes=150, sequences=300, clones=300, sparsity=0.9,
-                   seed=7)
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
 SPEEDUP_FLOOR = 1.5
 
 
@@ -88,7 +88,7 @@ def test_audit_speedup_genome(genome_target, bench_report, benchmark):
     benchmark.extra_info["speedup"] = round(speedup, 2)
     bench_report.record(
         "genome_warehouse",
-        sizes=dict(objects=genome_target.size()),
+        sizes={"objects": genome_target.size()},
         naive_ms=round(naive_time * 1000, 3),
         planned_ms=round(planned_time * 1000, 3),
         speedup=round(speedup, 2), metric="speedup",
@@ -150,7 +150,7 @@ def test_audit_speedup_relibase(relibase_target, bench_report, benchmark):
     benchmark.extra_info["speedup"] = round(speedup, 2)
     bench_report.record(
         "relibase",
-        sizes=dict(objects=relibase_target.size()),
+        sizes={"objects": relibase_target.size()},
         naive_ms=round(naive_time * 1000, 3),
         planned_ms=round(planned_time * 1000, 3),
         speedup=round(speedup, 2), metric="speedup",

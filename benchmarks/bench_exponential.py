@@ -29,9 +29,9 @@ def _compile(width, use_constraints):
 def _series():
     rows = []
     for width in WIDTHS:
-        with_c, with_time = best_of(lambda: _compile(width, True),
+        with_c, with_time = best_of(lambda width=width: _compile(width, True),
                                     repetitions=2)
-        without_c, without_time = best_of(lambda: _compile(width, False),
+        without_c, without_time = best_of(lambda width=width: _compile(width, False),
                                           repetitions=1)
         rows.append((
             width,
@@ -58,13 +58,14 @@ def test_exponential_without_constraints(bench_report, benchmark):
     # 3. the constraint-less size explodes relative to the constrained one
     #    and the gap widens with width (exponential separation).
     gaps = [row[4] / row[3] for row in rows]
-    assert all(later > earlier for earlier, later in zip(gaps, gaps[1:]))
+    assert all(later > earlier
+               for earlier, later in zip(gaps, gaps[1:], strict=False))
     assert gaps[-1] > 100
 
     benchmark.extra_info["clauses_without"] = [r[2] for r in rows]
     for row in rows:
         bench_report.record(
-            f"width_{row[0]}", sizes=dict(width=row[0]),
+            f"width_{row[0]}", sizes={"width": row[0]},
             clauses_with=row[1], clauses_without=row[2],
             with_ms=row[5], without_ms=row[6])
     benchmark(lambda: _compile(4, True))

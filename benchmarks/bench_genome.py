@@ -79,7 +79,7 @@ def test_pipeline_scaling(morphase, bench_report, benchmark):
     for clones, warehouse_objs, ms in rows:
         bench_report.record(
             f"clones_{clones}",
-            sizes=dict(clones=clones, warehouse=warehouse_objs),
+            sizes={"clones": clones, "warehouse": warehouse_objs},
             pipeline_ms=ms)
 
     database = genome.generate_acedb(20, 50, 100, sparsity=0.9, seed=8)

@@ -30,8 +30,8 @@ from repro.morphase import Morphase
 from repro.workloads import genome
 
 #: Genome workload default size (matches bench_planner).
-GENOME_SIZE = dict(genes=150, sequences=300, clones=300, sparsity=0.9,
-                   seed=7)
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
 #: Acceptance floor: incremental 1% append vs full recompute.
 SPEEDUP_FLOOR = 20.0
 
@@ -154,7 +154,7 @@ def test_incremental_append_speedup(genome_morphase, bench_report,
          ("speedup", f"{speedup:.1f}x")])
     bench_report.record(
         "genome_default_append",
-        sizes=dict(objects=source.size(), delta=delta_size),
+        sizes={"objects": source.size(), "delta": delta_size},
         full_ms=round(full_ms, 3), incremental_ms=round(incr_ms, 3),
         speedup=round(speedup, 2), metric="speedup",
         floor=SPEEDUP_FLOOR)
@@ -193,7 +193,7 @@ def test_incremental_mixed_delta(genome_morphase, bench_report,
          ("speedup", f"{speedup:.1f}x")])
     bench_report.record(
         "genome_default_mixed",
-        sizes=dict(objects=source.size(), delta=delta_size),
+        sizes={"objects": source.size(), "delta": delta_size},
         full_ms=round(full_ms, 3), incremental_ms=round(incr_ms, 3),
         speedup=round(speedup, 2), metric="speedup", floor=5.0)
     assert speedup >= 5.0
@@ -219,7 +219,7 @@ def test_incremental_scaling(genome_morphase, bench_report, benchmark):
                      round(incr_ms, 2), f"{speedup:.1f}x"))
         bench_report.record(
             f"scaling_{scale}x",
-            sizes=dict(objects=source.size(), delta=8),
+            sizes={"objects": source.size(), "delta": 8},
             full_ms=round(full_ms, 3),
             incremental_ms=round(incr_ms, 3),
             speedup=round(speedup, 2))
@@ -282,7 +282,7 @@ def test_incremental_audit_maintenance(genome_morphase, bench_report,
          ("speedup", f"{speedup:.1f}x")])
     bench_report.record(
         "audit_maintenance",
-        sizes=dict(objects=warehouse.size(), delta=1),
+        sizes={"objects": warehouse.size(), "delta": 1},
         full_ms=round(full_ms, 3), incremental_ms=round(incr_ms, 3),
         speedup=round(speedup, 2))
     assert speedup >= 2.0

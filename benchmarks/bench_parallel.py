@@ -75,7 +75,7 @@ def run_transform_series(morphase, program, source, label_prefix,
         for _ in range(2))
     rows = [("sequential", round(seq_time * 1000, 1), "1.00x", "1.00x")]
     for workers in WORKER_COUNTS:
-        def parallel_run():
+        def parallel_run(workers=workers):
             return execute_parallel(
                 program, source, morphase.target_plain, workers)
 
@@ -95,7 +95,7 @@ def run_transform_series(morphase, program, source, label_prefix,
                      f"{speedup:.2f}x", f"{execution_speedup:.2f}x"))
         bench_report.record(
             f"{label_prefix}_w{workers}",
-            sizes=dict(objects=source.size()),
+            sizes={"objects": source.size()},
             cores=CORES, workers=workers,
             sequential_ms=round(seq_time * 1000, 3),
             parallel_ms=round(par_time * 1000, 3),
@@ -188,7 +188,8 @@ def test_parallel_audit_speedup(genome_setup, bench_report, benchmark):
     rows = [("sequential", round(seq_time * 1000, 1), "1.00x")]
     for workers in WORKER_COUNTS:
         result, par_time = best_of(
-            lambda: audit_parallel(constraints, target, workers),
+            lambda workers=workers: audit_parallel(constraints, target,
+                                                   workers),
             repetitions=3)
         assert sorted(str(v)
                       for v in result.violations(constraints)) == expected
@@ -197,8 +198,7 @@ def test_parallel_audit_speedup(genome_setup, bench_report, benchmark):
                      f"{speedup:.2f}x"))
         bench_report.record(
             f"audit_genome_w{workers}",
-            sizes=dict(objects=target.size(),
-                       constraints=len(constraints)),
+            sizes={"objects": target.size(), "constraints": len(constraints)},
             cores=CORES, workers=workers,
             sequential_ms=round(seq_time * 1000, 3),
             parallel_ms=round(par_time * 1000, 3),

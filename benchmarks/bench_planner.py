@@ -23,8 +23,8 @@ from repro.morphase import Morphase
 from repro.workloads import genome, synthetic
 
 #: Default genome workload size for the headline comparison.
-GENOME_SIZE = dict(genes=150, sequences=300, clones=300, sparsity=0.9,
-                   seed=7)
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
 SPEEDUP_FLOOR = 1.5
 
 
@@ -75,7 +75,7 @@ def test_planner_speedup_genome(genome_morphase, genome_source,
     benchmark.extra_info["speedup"] = round(speedup, 2)
     bench_report.record(
         "genome_default",
-        sizes=dict(objects=genome_source.size()),
+        sizes={"objects": genome_source.size()},
         naive_ms=round(naive_time * 1000, 3),
         planned_ms=round(planned_time * 1000, 3),
         speedup=round(speedup, 2), metric="speedup",

@@ -39,8 +39,8 @@ def test_warehouse_build_scaling(morphase, bench_report, benchmark):
     for proteins, structures, complexes, ms in rows:
         bench_report.record(
             f"proteins_{proteins}",
-            sizes=dict(proteins=proteins, structures=structures,
-                       complexes=complexes),
+            sizes={"proteins": proteins, "structures": structures,
+                   "complexes": complexes},
             build_ms=ms)
 
     sp, pdb = relibase.generate_sources(50, 3, 25, 100, seed=3)

@@ -37,8 +37,8 @@ from repro.store import WarehouseStore
 from repro.workloads import genome
 
 #: Genome workload default size (matches bench_planner/bench_incremental).
-GENOME_SIZE = dict(genes=150, sequences=300, clones=300, sparsity=0.9,
-                   seed=7)
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
 #: Acceptance floor: warm HTTP ingest vs cold per-request batch run.
 SPEEDUP_FLOOR = 10.0
 #: Sustained HTTP ingestion floor (deltas/second, conservative for CI).

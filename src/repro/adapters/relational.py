@@ -265,7 +265,7 @@ def import_database(database: RelationalDatabase) -> Instance:
             oid = Oid.keyed(table.schema.name,
                             key[0] if len(key) == 1 else
                             Record(tuple(zip(table.schema.primary_key,
-                                             key))))
+                                             key, strict=True))))
             builder.put(oid, Record(tuple(fields)))
     return builder.freeze()
 

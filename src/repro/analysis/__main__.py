@@ -1,0 +1,126 @@
+"""Dogfood the analyzer over every bundled workload.
+
+``python -m repro.analysis`` lints each bundled program (genome,
+relibase, persons, cities, both synthetic families and the
+constraint-determination example) and exits non-zero when any of them
+reports a warning or error — the CI gate keeping the shipped workloads
+lint-clean.  Info-level findings are printed but do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..model.keys import KeyedSchema
+from .analyzer import analyze_text
+from .diagnostics import SEVERITY_RANK, SEVERITY_WARNING, DiagnosticReport
+
+Workload = Tuple[str, Callable[[], Tuple[str, Sequence[KeyedSchema],
+                                         Optional[KeyedSchema]]]]
+
+
+def _genome():
+    from ..adapters.acedb import schema_of_acedb
+    from ..workloads.genome import (ACE_CLASSES, PROGRAM_TEXT, AceDatabase,
+                                    warehouse_schema)
+    source = schema_of_acedb(AceDatabase("ACe22", ACE_CLASSES))
+    return PROGRAM_TEXT, [source], warehouse_schema()
+
+
+def _relibase():
+    from ..workloads.relibase import (PROGRAM_TEXT, pdb_schema,
+                                      relibase_schema, swissprot_schema)
+    return PROGRAM_TEXT, [swissprot_schema(), pdb_schema()], relibase_schema()
+
+
+def _persons():
+    from ..workloads.persons import PROGRAM_TEXT, evolved_schema, person_schema
+    return PROGRAM_TEXT, [person_schema()], evolved_schema()
+
+
+def _cities():
+    from ..workloads.cities import (PROGRAM_TEXT, euro_schema, target_schema,
+                                    us_schema)
+    return PROGRAM_TEXT, [us_schema(), euro_schema()], target_schema()
+
+
+def _synthetic_wide():
+    from ..workloads.synthetic import wide_program_text, wide_schemas
+    source, target = wide_schemas(6)
+    return wide_program_text(6), [source], target
+
+
+def _synthetic_variant():
+    from ..workloads.synthetic import (variant_schemas,
+                                       variant_split_program_text)
+    source, target = variant_schemas(3, 2)
+    return variant_split_program_text(3, 2), [source], target
+
+
+def _example_constraint_determination():
+    from ..model.schema import parse_schema
+    from ..workloads import cities
+    example = _load_example("constraint_determination.py")
+    target = parse_schema(example.EXTENDED_TARGET)
+    text = cities.PROGRAM_TEXT + example.PLACE_CONSTRAINTS
+    return text, [cities.us_schema(), cities.euro_schema()], target
+
+
+def _load_example(filename: str):
+    """Import an ``examples/`` script by path (they are not a package)."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    path = root / "examples" / filename
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+WORKLOADS: List[Workload] = [
+    ("genome", _genome),
+    ("relibase", _relibase),
+    ("persons", _persons),
+    ("cities", _cities),
+    ("synthetic-wide", _synthetic_wide),
+    ("synthetic-variant", _synthetic_variant),
+    ("example-constraint-determination", _example_constraint_determination),
+]
+
+
+def lint_workloads(names: Optional[Sequence[str]] = None
+                   ) -> List[Tuple[str, DiagnosticReport]]:
+    """Analyze each bundled workload; returns (name, report) pairs."""
+    wanted = set(names) if names else None
+    out: List[Tuple[str, DiagnosticReport]] = []
+    for name, build in WORKLOADS:
+        if wanted is not None and name not in wanted:
+            continue
+        text, sources, target = build()
+        out.append((name, analyze_text(text, sources, target)))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    reports = lint_workloads(list(argv) if argv else None)
+    gate = SEVERITY_RANK[SEVERITY_WARNING]
+    failed = False
+    for name, report in reports:
+        print(report.render_text(source_name=name))
+        if report.at_or_above(SEVERITY_WARNING):
+            failed = True
+    if failed:
+        print(f"dogfood: findings at or above severity rank {gate}; "
+              f"fix them or add a '-- lint: disable=...' suppression",
+              file=sys.stderr)
+        return 1
+    print(f"dogfood: {len(reports)} workload(s) lint-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,380 @@
+"""The WOL static analyzer: shared context plus the pass pipeline.
+
+The analyzer runs a sequence of *passes* over one
+:class:`~repro.lang.ast.Program` and the schemas it is written against.
+Each pass is a function ``(AnalysisContext) -> List[Diagnostic]``; the
+default pipeline is the paper-faithful quartet
+
+* ``safety``        — range restriction, typing, boundness (WOL1xx),
+* ``deadcode``      — unsatisfiable/dead/duplicate clauses (WOL2xx),
+* ``interference``  — read/write conflict analysis (WOL3xx),
+* ``schema``        — key completeness and schema reachability (WOL4xx).
+
+:class:`AnalysisContext` memoises everything passes share: per-clause
+SNF forms, type reports, recognised key clauses, head effects and the
+produce/consume structure of the program.  Entry points:
+
+* :func:`analyze_program` — over an already-parsed program;
+* :func:`analyze_text`    — over WOL source text (parse errors become
+  ``WOL100`` diagnostics; inline ``-- lint: disable=...`` directives are
+  honoured, see :mod:`repro.analysis.suppress`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from ..lang.ast import (AstError, Clause, EqAtom, InAtom, MemberAtom,
+                        Program, Proj, SkolemTerm, Var)
+from ..lang.lexer import LexError
+from ..lang.parser import ParseError, parse_program
+from ..lang.typecheck import TypeReport, TypecheckError, check_clause
+from ..model.keys import KeySpec, KeyedSchema
+from ..model.schema import Schema, merge_schemas
+from ..model.types import ClassType
+from ..normalization.congruence import KeyPaths
+from ..normalization.keyclauses import (KeyClause, key_paths_from_spec,
+                                        recognise_key_clause,
+                                        recognise_source_key_paths)
+from ..normalization.snf import SnfError, snf_clause
+from .diagnostics import Diagnostic, DiagnosticReport
+from .suppress import Suppression, is_suppressed, parse_suppressions
+
+AnySchema = Union[Schema, KeyedSchema]
+
+
+def _plain(schema: AnySchema) -> Schema:
+    return schema.schema if isinstance(schema, KeyedSchema) else schema
+
+
+def _keys_of(schema: AnySchema) -> Optional[KeySpec]:
+    return schema.keys if isinstance(schema, KeyedSchema) else None
+
+
+@dataclass
+class HeadEffects:
+    """The static write-set of one clause's head.
+
+    ``creations`` are target-class objects the head asserts into an
+    extent whose element variable is not bound by the body (the clause
+    *creates* them); ``scalar_writes``/``set_inserts`` are the
+    ``(class, attribute, subject variable)`` effects; ``identities``
+    maps a variable to the Skolem term the head equates it with.
+    """
+
+    creations: List[Tuple[str, str]] = field(default_factory=list)
+    scalar_writes: List[Tuple[str, str, str]] = field(default_factory=list)
+    set_inserts: List[Tuple[str, str, str]] = field(default_factory=list)
+    identities: Dict[str, SkolemTerm] = field(default_factory=dict)
+
+    def written_attributes(self, var: str) -> Set[str]:
+        return {attr for _, attr, subject in
+                self.scalar_writes + self.set_inserts if subject == var}
+
+
+class AnalysisContext:
+    """Everything the passes share, computed lazily and memoised."""
+
+    def __init__(self, program: Program, source_schema: Schema,
+                 target_schema: Optional[Schema] = None,
+                 target_keys: Optional[KeySpec] = None,
+                 source_keys: Optional[KeySpec] = None) -> None:
+        self.program = program
+        self.clauses: List[Clause] = list(program)
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.target_keys = target_keys
+        self.source_keys = source_keys
+        self._key_paths: Optional[KeyPaths] = None
+        if target_schema is not None:
+            self.merged_schema = merge_schemas(
+                "__analysis__", [source_schema, target_schema])
+            self._target_classes = frozenset(target_schema.class_names())
+        else:
+            self.merged_schema = source_schema
+            self._target_classes = frozenset()
+        self._snf: Dict[int, Optional[Clause]] = {}
+        self._types: Dict[int, Union[TypeReport, TypecheckError]] = {}
+        self._effects: Dict[int, HeadEffects] = {}
+        self._key_clauses: Optional[Dict[str, Tuple[int, KeyClause]]] = None
+        self._key_attrs: Dict[str, Optional[FrozenSet[str]]] = {}
+
+    # -- basic accessors ----------------------------------------------
+    def label(self, index: int) -> str:
+        clause = self.clauses[index]
+        return clause.name or str(clause)
+
+    def is_target_class(self, name: str) -> bool:
+        return name in self._target_classes
+
+    def class_type_of(self, name: str):
+        """Schema record type of a class, or None (never raises)."""
+        from ..model.types import RecordType
+        try:
+            found = self.merged_schema.class_type(name)
+        except Exception:
+            return None
+        return found if isinstance(found, RecordType) else None
+
+    # -- memoised per-clause analyses ---------------------------------
+    def snf(self, index: int) -> Optional[Clause]:
+        if index not in self._snf:
+            try:
+                self._snf[index] = snf_clause(self.clauses[index])
+            except SnfError:
+                self._snf[index] = None
+        return self._snf[index]
+
+    def type_report(self, index: int) -> Union[TypeReport, TypecheckError]:
+        if index not in self._types:
+            try:
+                self._types[index] = check_clause(self.merged_schema,
+                                                  self.clauses[index])
+            except TypecheckError as exc:
+                self._types[index] = exc
+        return self._types[index]
+
+    def var_classes(self, index: int) -> Dict[str, str]:
+        """Variable -> class name, from types or membership atoms."""
+        out: Dict[str, str] = {}
+        report = self.type_report(index)
+        if isinstance(report, TypeReport):
+            for name, ty in report.variable_types.items():
+                if isinstance(ty, ClassType):
+                    out[name] = ty.name
+        for atom in self.clauses[index].atoms():
+            if isinstance(atom, MemberAtom) and isinstance(atom.element,
+                                                           Var):
+                out.setdefault(atom.element.name, atom.class_name)
+        return out
+
+    def head_effects(self, index: int) -> HeadEffects:
+        if index not in self._effects:
+            self._effects[index] = self._compute_effects(index)
+        return self._effects[index]
+
+    def _compute_effects(self, index: int) -> HeadEffects:
+        clause = self.clauses[index]
+        effects = HeadEffects()
+        classes = self.var_classes(index)
+        body_vars: Set[str] = set()
+        for atom in clause.body:
+            body_vars |= atom.variables()
+
+        def target_subject(term) -> Optional[Tuple[str, str, str]]:
+            """(class, attr, var) when ``term`` projects a target object."""
+            if not (isinstance(term, Proj)
+                    and isinstance(term.subject, Var)):
+                return None
+            cname = classes.get(term.subject.name)
+            if cname is None or not self.is_target_class(cname):
+                return None
+            return cname, term.attr, term.subject.name
+
+        for atom in clause.head:
+            if isinstance(atom, MemberAtom):
+                if (isinstance(atom.element, Var)
+                        and self.is_target_class(atom.class_name)
+                        and atom.element.name not in body_vars):
+                    effects.creations.append(
+                        (atom.class_name, atom.element.name))
+            elif isinstance(atom, EqAtom):
+                if (isinstance(atom.left, Var)
+                        and isinstance(atom.right, SkolemTerm)):
+                    effects.identities[atom.left.name] = atom.right
+                    continue
+                for side in (atom.left, atom.right):
+                    write = target_subject(side)
+                    if write is not None:
+                        effects.scalar_writes.append(write)
+            elif isinstance(atom, InAtom):
+                insert = target_subject(atom.collection)
+                if insert is not None:
+                    effects.set_inserts.append(insert)
+        return effects
+
+    # -- key knowledge -------------------------------------------------
+    def key_clauses(self) -> Dict[str, Tuple[int, KeyClause]]:
+        """Hand-written key clauses of the program, by class."""
+        if self._key_clauses is None:
+            found: Dict[str, Tuple[int, KeyClause]] = {}
+            for index in range(len(self.clauses)):
+                normal = self.snf(index)
+                if normal is None:
+                    continue
+                recognised = recognise_key_clause(normal)
+                if recognised is not None:
+                    found.setdefault(recognised.class_name,
+                                     (index, recognised))
+            self._key_clauses = found
+        return self._key_clauses
+
+    def effective_key_attrs(self, cname: str) -> Optional[FrozenSet[str]]:
+        """The attributes that identify objects of ``cname``.
+
+        A hand-written key clause overrides the schema key (the paper's
+        Example 2.3 move); either way the answer is the set of *first*
+        attributes the key reads.  None when the class is unkeyed or the
+        key's attributes cannot be traced statically.
+        """
+        if cname not in self._key_attrs:
+            self._key_attrs[cname] = self._compute_key_attrs(cname)
+        return self._key_attrs[cname]
+
+    def _compute_key_attrs(self, cname: str) -> Optional[FrozenSet[str]]:
+        recognised = self.key_clauses().get(cname)
+        if recognised is not None:
+            _, key_clause = recognised
+            attrs: Set[str] = set()
+            for _, arg in key_clause.skolem.args:
+                if not isinstance(arg, Var):
+                    continue
+                attr = self._trace_key_attr(key_clause, arg.name)
+                if attr is None:
+                    return None  # untraceable: claim nothing
+                attrs.add(attr)
+            return frozenset(attrs)
+        if self.target_keys is not None:
+            try:
+                function = self.target_keys.key_for(cname)
+            except Exception:
+                return None
+            return frozenset(path[0] for _, path in function.components)
+        return None
+
+    @staticmethod
+    def _trace_key_attr(key_clause: KeyClause,
+                        var: str) -> Optional[str]:
+        """First attribute on the path from the object to ``var``."""
+        current = var
+        for _ in range(len(key_clause.definitions) + 1):
+            for definition in key_clause.definitions:
+                if not (isinstance(definition.left, Var)
+                        and definition.left.name == current
+                        and isinstance(definition.right, Proj)
+                        and isinstance(definition.right.subject, Var)):
+                    continue
+                if (definition.right.subject.name
+                        == key_clause.object_var):
+                    return definition.right.attr
+                current = definition.right.subject.name
+                break
+            else:
+                return None
+        return None
+
+    def congruence_key_paths(self) -> KeyPaths:
+        """Key knowledge for the congruence engine (Example 4.1).
+
+        Schema key specifications (source and target) plus hand-written
+        source key constraints of the paper's (C8) shape — the same
+        knowledge the normaliser feeds its optimiser.
+        """
+        if self._key_paths is None:
+            paths: Dict[str, Tuple] = {}
+            for keys in (self.source_keys, self.target_keys):
+                if keys is not None:
+                    paths.update(key_paths_from_spec(keys))
+            for clause in self.clauses:
+                recognised = recognise_source_key_paths(clause)
+                if recognised is None:
+                    continue
+                cname, key_tuple = recognised
+                paths[cname] = paths.get(cname, ()) + (key_tuple,)
+            self._key_paths = paths
+        return self._key_paths
+
+    # -- program structure ---------------------------------------------
+    def producers(self) -> Dict[str, List[int]]:
+        """Target classes -> clauses whose heads assert members."""
+        out: Dict[str, List[int]] = {}
+        for index, clause in enumerate(self.clauses):
+            for atom in clause.head:
+                if (isinstance(atom, MemberAtom)
+                        and self.is_target_class(atom.class_name)):
+                    out.setdefault(atom.class_name, []).append(index)
+        return out
+
+    def consumers(self, index: int) -> Set[str]:
+        """Target classes the clause's body selects from."""
+        return {atom.class_name for atom in self.clauses[index].body
+                if isinstance(atom, MemberAtom)
+                and self.is_target_class(atom.class_name)}
+
+
+PassFn = Callable[[AnalysisContext], List[Diagnostic]]
+
+
+def default_passes() -> Tuple[Tuple[str, PassFn], ...]:
+    from . import deadcode, interference, safety, schemalint
+    return (("safety", safety.run),
+            ("deadcode", deadcode.run),
+            ("interference", interference.run),
+            ("schema", schemalint.run))
+
+
+def analyze_program(program: Program, source_schema: Schema,
+                    target_schema: Optional[Schema] = None,
+                    target_keys: Optional[KeySpec] = None,
+                    source_keys: Optional[KeySpec] = None,
+                    suppressions: FrozenSet[Suppression] = frozenset(),
+                    passes: Optional[Sequence[Tuple[str, PassFn]]] = None
+                    ) -> DiagnosticReport:
+    """Run the pass pipeline over a parsed program."""
+    context = AnalysisContext(program, source_schema, target_schema,
+                              target_keys, source_keys=source_keys)
+    kept: List[Diagnostic] = []
+    muted: List[Diagnostic] = []
+    names: List[str] = []
+    for name, pass_fn in (passes if passes is not None
+                          else default_passes()):
+        names.append(name)
+        for diagnostic in pass_fn(context):
+            if is_suppressed(suppressions, diagnostic.code,
+                             diagnostic.clause):
+                muted.append(diagnostic)
+            else:
+                kept.append(diagnostic)
+    return DiagnosticReport(diagnostics=kept, suppressed=muted,
+                            passes_run=tuple(names))
+
+
+def analyze_text(text: str, source_schemas: Sequence[AnySchema],
+                 target_schema: Optional[AnySchema] = None,
+                 passes: Optional[Sequence[Tuple[str, PassFn]]] = None
+                 ) -> DiagnosticReport:
+    """Parse and analyze WOL source text.
+
+    Schemas may be plain or keyed; the target's key specification (when
+    present) feeds the key-completeness pass.  A parse failure yields a
+    single ``WOL100`` report instead of raising.
+    """
+    plain_sources = [_plain(s) for s in source_schemas]
+    source_schema = (plain_sources[0] if len(plain_sources) == 1
+                     else merge_schemas("__source__", plain_sources))
+    target_plain = (_plain(target_schema)
+                    if target_schema is not None else None)
+    classes = list(source_schema.class_names())
+    if target_plain is not None:
+        classes += list(target_plain.class_names())
+    suppressions = parse_suppressions(text)
+    try:
+        program = parse_program(text, classes=classes)
+    except (AstError, LexError, ParseError) as exc:
+        return DiagnosticReport(diagnostics=[Diagnostic(
+            "WOL100", str(exc),
+            suggestion="fix the syntax error; nothing was analyzed")])
+    target_keys = (_keys_of(target_schema)
+                   if target_schema is not None else None)
+    source_functions: Dict[str, object] = {}
+    for schema in source_schemas:
+        keys = _keys_of(schema)
+        if keys is not None:
+            source_functions.update(keys.functions)
+    source_keys = (KeySpec(source_functions)  # type: ignore[arg-type]
+                   if source_functions else None)
+    return analyze_program(program, source_schema, target_plain,
+                           target_keys=target_keys, source_keys=source_keys,
+                           suppressions=suppressions, passes=passes)

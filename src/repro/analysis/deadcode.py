@@ -1,0 +1,92 @@
+"""Dead & unsatisfiable clause detection (WOL201-WOL204).
+
+Congruence closure rejects bodies that can never hold (paper Section
+4.2's "causing unsatisfiable rules to be rejected" — here reported
+instead of silently pruned), selector analysis finds bodies reading
+target classes no clause produces, :func:`clause_signature` finds
+duplicated clauses modulo renaming, and a local occurrence count flags
+body variables that only widen a join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..normalization.optimize import clause_signature, is_body_satisfiable
+from .analyzer import AnalysisContext
+from .diagnostics import Diagnostic
+
+
+def run(context: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    producers = context.producers()
+    signatures: Dict[Tuple[str, str], int] = {}
+    for index, clause in enumerate(context.clauses):
+        label = context.label(index)
+
+        normal = context.snf(index)
+        if normal is not None and not is_body_satisfiable(normal):
+            out.append(Diagnostic(
+                "WOL201",
+                "body is unsatisfiable (congruence closure finds a "
+                "contradiction); the clause can never fire",
+                clause=label, clause_index=index,
+                suggestion="remove the clause or fix the contradictory "
+                           "equations"))
+
+        for cname in sorted(context.consumers(index)):
+            if cname not in producers:
+                out.append(Diagnostic(
+                    "WOL202",
+                    f"body selects from target class {cname!r}, but no "
+                    f"clause produces {cname!r} members",
+                    clause=label, clause_index=index,
+                    suggestion=f"add a producing clause for {cname!r} "
+                               f"or drop the selector"))
+
+        try:
+            signature = clause_signature(clause)
+        except Exception:
+            signature = None
+        if signature is not None:
+            first = signatures.setdefault(signature, index)
+            if first != index:
+                out.append(Diagnostic(
+                    "WOL203",
+                    f"duplicate of clause "
+                    f"{context.label(first)} (identical modulo "
+                    f"variable renaming)",
+                    clause=label, clause_index=index,
+                    suggestion="remove the duplicate clause"))
+
+        out.extend(_unused_variables(context, index))
+    return out
+
+
+def _unused_variables(context: AnalysisContext,
+                      index: int) -> List[Diagnostic]:
+    """WOL204: body variables used in exactly one atom, never in the head.
+
+    Such a variable neither joins nor reaches the head — it only
+    multiplies bindings (harmless for set semantics, wasteful for the
+    join).  Auxiliary ``_``-prefixed variables are exempt by convention.
+    """
+    clause = context.clauses[index]
+    head_vars = set()
+    for atom in clause.head:
+        head_vars |= atom.variables()
+    occurrences: Dict[str, int] = {}
+    for atom in clause.body:
+        for name in atom.variables():
+            occurrences[name] = occurrences.get(name, 0) + 1
+    lonely = sorted(name for name, count in occurrences.items()
+                    if count == 1 and name not in head_vars
+                    and not name.startswith("_"))
+    if not lonely:
+        return []
+    return [Diagnostic(
+        "WOL204",
+        f"body variables {lonely} occur once and never reach the head",
+        clause=context.label(index), clause_index=index,
+        suggestion="drop the variables (or name them with a leading "
+                   "underscore if the widening is intended)")]

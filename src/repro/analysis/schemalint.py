@@ -1,0 +1,100 @@
+"""Schema/key lint (WOL401-WOL403).
+
+* **WOL401** — a head creates an object of a keyed target class without
+  binding every key attribute.  Today that surfaces as a runtime
+  conflict (two firings with equal keys but different identities) or a
+  validation failure; statically, the created object's identity is
+  underdetermined.  A head that states the Skolem identity explicitly
+  (``X = Mk_C(...)``) is exempt — the identity *is* the binding.
+* **WOL402** — schema classes no clause mentions (neither membership
+  nor Skolem identity): unreachable by this program.
+* **WOL403** — a named Skolem argument labelling no attribute of its
+  class: the surrogate key's components dangle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..lang.ast import SkolemTerm
+from .analyzer import AnalysisContext
+from .diagnostics import Diagnostic
+
+
+def run(context: AnalysisContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for index in range(len(context.clauses)):
+        out.extend(_key_completeness(context, index))
+        out.extend(_skolem_labels(context, index))
+    out.extend(_unreachable_classes(context))
+    return out
+
+
+def _key_completeness(context: AnalysisContext,
+                      index: int) -> List[Diagnostic]:
+    effects = context.head_effects(index)
+    out: List[Diagnostic] = []
+    for cname, var in effects.creations:
+        if var in effects.identities:
+            continue  # explicit Mk_C identity binds the key
+        required = context.effective_key_attrs(cname)
+        if not required:
+            continue  # unkeyed or untraceable: nothing to demand
+        missing = sorted(required - effects.written_attributes(var))
+        if not missing:
+            continue
+        out.append(Diagnostic(
+            "WOL401",
+            f"head creates a {cname} object without binding its key "
+            f"attribute(s) {missing}; the object's identity is "
+            f"underdetermined (a runtime conflict)",
+            clause=context.label(index), clause_index=index,
+            suggestion=f"assert {var}.{missing[0]} = ... in the head "
+                       f"(and likewise for every key attribute)"))
+    return out
+
+
+def _skolem_labels(context: AnalysisContext,
+                   index: int) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    seen: Set[str] = set()
+    for atom in context.clauses[index].atoms():
+        for term in atom.terms():
+            for node in term.walk():
+                if not (isinstance(node, SkolemTerm) and node.is_named):
+                    continue
+                record = context.class_type_of(node.class_name)
+                if record is None:
+                    continue  # unknown class: the type checker reports it
+                for label, _ in node.args:
+                    if label is None or record.has_field(label):
+                        continue
+                    anchor = f"Mk_{node.class_name}(... {label} = ...)"
+                    if anchor in seen:
+                        continue
+                    seen.add(anchor)
+                    out.append(Diagnostic(
+                        "WOL403",
+                        f"Skolem argument {label!r} is not an attribute "
+                        f"of class {node.class_name}",
+                        clause=context.label(index), clause_index=index,
+                        atom=str(atom),
+                        suggestion=f"key components should name "
+                                   f"attributes of {node.class_name}"))
+    return out
+
+
+def _unreachable_classes(context: AnalysisContext) -> List[Diagnostic]:
+    mentioned: Set[str] = set()
+    for clause in context.clauses:
+        mentioned |= clause.classes_mentioned()
+    out: List[Diagnostic] = []
+    for cname in sorted(context.merged_schema.class_names()):
+        if cname not in mentioned:
+            out.append(Diagnostic(
+                "WOL402",
+                f"class {cname!r} is mentioned by no clause "
+                f"(unreachable by this program)",
+                suggestion="drop the class from the schema or add "
+                           "clauses over it"))
+    return out

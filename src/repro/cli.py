@@ -58,6 +58,16 @@ Subcommands::
         started from, the WAL records applied, whether a torn final
         record was dropped, and the recovered class sizes.
 
+    python -m repro lint     --source us.schema [--target target.schema] \\
+                             program.wol [--json] [--fail-on SEVERITY]
+        Statically analyze a WOL program: safety/boundness, dead and
+        unsatisfiable clauses, clause interference, schema/key lint.
+        Prints diagnostics (``--json`` for the machine-readable form)
+        and exits 1 when any finding reaches ``--fail-on`` (default
+        ``error``; also ``warning`` or ``info``).  Suppress findings
+        in the program text with ``-- lint: disable=WOL301`` or
+        ``-- lint: disable=WOL301,WOL303 clause=C6``.
+
 Schema files use the textual schema language; ``program.wol`` is WOL
 concrete syntax; instances are the JSON interchange format of
 :mod:`repro.io` and deltas that of
@@ -281,6 +291,18 @@ def _cmd_apply_delta(args) -> int:
     return 0 if not remaining else 1
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import analyze_text
+    sources = [_load_schema_file(path) for path in args.source]
+    target = _load_schema_file(args.target) if args.target else None
+    report = analyze_text(_load_program_text(args.program), sources, target)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(source_name=args.program))
+    return 1 if report.at_or_above(args.fail_on) else 0
+
+
 def _cmd_plan(args) -> int:
     morphase = _build_morphase(args)
     instances = [load_instance(path) for path in args.data]
@@ -302,7 +324,7 @@ def _cmd_serve(args) -> int:
     print(f"store: {args.store} (seq {stats['seq']}, "
           f"{stats['wal_records']} WAL record(s) replayed)")
     print(f"serving on {server.url} — POST /ingest, GET /query, "
-          f"GET /check, POST /snapshot, GET /stats")
+          f"GET /check, POST /snapshot, POST /lint, GET /stats")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
@@ -404,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p = sub.add_parser("replay",
                               help="recover a warehouse store and report "
                                    "the WAL replay")
+    lint_p = sub.add_parser("lint",
+                            help="statically analyze a WOL program "
+                                 "(safety, dead clauses, interference, "
+                                 "schema/key lint)")
 
     for p in (compile_p, transform_p, plan_p, delta_p, serve_p):
         p.add_argument("--source", action="append", required=True,
@@ -485,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the recovered source instance JSON")
     replay_p.add_argument("--json", action="store_true",
                           help="emit the recovery report as JSON")
+    lint_p.add_argument("--source", action="append", required=True,
+                        help="source schema file (repeatable)")
+    lint_p.add_argument("--target",
+                        help="target schema file (optional; enables "
+                             "interference and key lint over target "
+                             "classes)")
+    lint_p.add_argument("program", help="WOL program file")
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON")
+    lint_p.add_argument("--fail-on", dest="fail_on", default="error",
+                        choices=["error", "warning", "info"],
+                        help="exit 1 when a diagnostic at or above this "
+                             "severity is found (default: error)")
 
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)
@@ -494,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.set_defaults(func=_cmd_serve)
     snapshot_p.set_defaults(func=_cmd_snapshot)
     replay_p.set_defaults(func=_cmd_replay)
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

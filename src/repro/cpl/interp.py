@@ -35,7 +35,8 @@ def eval_expr(expr: Expr, env: Env, source: Instance) -> Value:
         try:
             return env[expr.name]
         except KeyError:
-            raise CplRuntimeError(f"unbound CPL variable {expr.name}")
+            raise CplRuntimeError(
+                f"unbound CPL variable {expr.name}") from None
     if isinstance(expr, EConst):
         return expr.value  # type: ignore[return-value]
     if isinstance(expr, ERecord):

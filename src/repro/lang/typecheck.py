@@ -50,15 +50,28 @@ class TypeVar(Type):
 
 @dataclass
 class TypeReport:
-    """Result of type inference over a clause."""
+    """Result of type inference over a clause.
+
+    ``obligations`` are the deferred constraints inference could not
+    discharge (projection subjects, variant injections and memberships
+    whose types never resolved).  They are not errors — partial clauses
+    legitimately leave head structure open — but the static analyzer
+    surfaces them as warnings (``WOL103``) since an undischarged
+    obligation can fail at runtime.
+    """
 
     variable_types: Dict[str, Type]
+    obligations: Tuple[str, ...] = ()
+
+    def unresolved_obligations(self) -> List[str]:
+        return list(self.obligations)
 
     def type_of(self, name: str) -> Type:
         try:
             return self.variable_types[name]
         except KeyError:
-            raise TypecheckError(f"no type recorded for variable {name!r}")
+            raise TypecheckError(
+                f"no type recorded for variable {name!r}") from None
 
     def is_ground(self, name: str) -> bool:
         ty = self.variable_types.get(name)
@@ -355,7 +368,8 @@ class _ClauseChecker:
 
         report = TypeReport({
             name: self.env.deep_resolve(tv)
-            for name, tv in self.var_types.items()})
+            for name, tv in self.var_types.items()},
+            obligations=tuple(leftovers))
         if require_ground:
             vague = sorted(name for name, ty in report.variable_types.items()
                            if not ty.is_ground())

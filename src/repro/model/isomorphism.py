@@ -96,7 +96,8 @@ def _values_match(left: Value, right: Value, state: _MatchState) -> bool:
         if len(left) != len(right):
             return False
         return all(_values_match(l, r, state)
-                   for l, r in zip(left.elements, right.elements))
+                   for l, r in zip(left.elements, right.elements,
+                                strict=True))
     if isinstance(left, WolSet) and isinstance(right, WolSet):
         if len(left) != len(right):
             return False

@@ -75,11 +75,15 @@ class Morphase:
                  program: Union[Program, str],
                  options: Optional[NormalizationOptions] = None,
                  auto_keys: bool = True,
-                 typecheck: bool = True) -> None:
+                 typecheck: bool = True,
+                 preflight: bool = True) -> None:
         self.source_schemas = list(source_schemas)
         self.target_schema = target_schema
         self.options = options or NormalizationOptions()
         self.auto_keys = auto_keys
+        self.preflight = preflight
+        self._program_text = program if isinstance(program, str) else None
+        self._preflight_report = None
 
         self.source_schema = merge_schemas(
             "__source__", [_plain_schema(s) for s in self.source_schemas])
@@ -129,6 +133,48 @@ class Morphase:
         return Program(self.program.clauses + tuple(generated))
 
     # ------------------------------------------------------------------
+    def preflight_report(self):
+        """The static analyzer's report over this program (cached).
+
+        Runs the full :mod:`repro.analysis` pass pipeline — safety,
+        dead clauses, interference, schema/key lint — with the key
+        knowledge this system compiled (schema keys plus recognised key
+        constraints).  Inline ``-- lint: disable=...`` directives in
+        the program text are honoured.
+        """
+        if self._preflight_report is None:
+            from ..analysis import analyze_program, parse_suppressions
+            suppressions = (parse_suppressions(self._program_text)
+                            if self._program_text else frozenset())
+            self._preflight_report = analyze_program(
+                self.program, self.source_schema, self.target_plain,
+                target_keys=_keys_of(self.target_schema),
+                source_keys=self.source_keys,
+                suppressions=suppressions)
+        return self._preflight_report
+
+    def _ensure_preflight(self) -> None:
+        """Refuse to run a program the analyzer rejects.
+
+        One aggregated :class:`MorphaseError` lists every error-severity
+        diagnostic.  Disable with ``Morphase(..., preflight=False)`` or
+        suppress individual findings in the program text.
+        """
+        if not self.preflight:
+            return
+        errors = self.preflight_report().errors()
+        if not errors:
+            return
+        detail = "; ".join(
+            f"{d.code} [{d.clause or '<program>'}] {d.message}"
+            for d in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise MorphaseError(
+            f"preflight analysis found {len(errors)} error(s): "
+            f"{detail}{more}; fix them, suppress with "
+            f"'-- lint: disable=CODE', or pass preflight=False")
+
+    # ------------------------------------------------------------------
     def compile(self, force: bool = False) -> NormalizedProgram:
         """Normalise the program (cached)."""
         if self._normalized is None or force:
@@ -152,6 +198,7 @@ class Morphase:
         ``parallel=N`` fans the audit out across ``N`` worker processes
         with hash-sharded body enumerations (violation sets union).
         """
+        self._ensure_preflight()
         normalized = self.compile()
         violations = list(program_violations(
             source, normalized.source_constraints, limit_per_clause=5,
@@ -210,6 +257,7 @@ class Morphase:
         cannot be combined with ``use_planner=False`` or the CPL
         backend.
         """
+        self._ensure_preflight()
         merged = self._merge_sources(sources)
         normalized = self.compile()
         source_violations: Tuple[Violation, ...] = ()
@@ -292,6 +340,7 @@ class Morphase:
         transformations in front of evolving databases.
         """
         from ..engine.incremental import IncrementalTransform
+        self._ensure_preflight()
         merged = self._merge_sources(sources)
         normalized = self.compile()
         return IncrementalTransform(normalized.program(), merged,
@@ -402,6 +451,7 @@ class Morphase:
         ``parallel=N`` shards every clause's body enumeration across
         ``N`` worker processes and unions the violation sets.
         """
+        self._ensure_preflight()
         if isinstance(sources, Instance):
             sources = [sources]
         combined = merge_instances("__audit__", list(sources) + [target])

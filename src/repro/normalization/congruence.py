@@ -157,7 +157,7 @@ class Congruence:
                     f"constant {const_node} has record labels "
                     f"{sorted(value.labels())}, not {sorted(labels)}")
             changed = False
-            for label, arg in zip(labels, app.args):
+            for label, arg in zip(labels, app.args, strict=False):
                 changed |= self._union_changed(arg, _const(value.get(label)))
             return changed
         raise Unsatisfiable(
@@ -202,7 +202,7 @@ class Congruence:
             raise Unsatisfiable(
                 f"conflicting constructions {existing.op} vs {app.op}")
         # Injectivity: unify the arguments pairwise.
-        for old, new in zip(existing.args, app.args):
+        for old, new in zip(existing.args, app.args, strict=True):
             self._union(old, new)
 
     def _register_app(self, app: _App, result: _Node) -> None:
@@ -312,7 +312,8 @@ class Congruence:
                     raise Unsatisfiable(
                         f"conflicting constructions {existing_app.op} "
                         f"vs {canon_app.op}")
-                for old, new in zip(existing_app.args, canon_app.args):
+                for old, new in zip(existing_app.args, canon_app.args,
+                                    strict=True):
                     if self._find(old) != self._find(new):
                         self._union(old, new)
                         changed = True

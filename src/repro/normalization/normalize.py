@@ -187,9 +187,10 @@ def _ensure_identities(analyzed: _Analyzed,
         return analyzed
     try:
         congruence = congruence_of(analyzed.clause.atoms())
-    except Unsatisfiable:
+    except Unsatisfiable as exc:
         raise NormalizationError(
-            f"clause {analyzed.name}: head and body are contradictory")
+            f"clause {analyzed.name}: head and body are "
+            f"contradictory") from exc
     new_atoms: List[Atom] = []
     for var in missing:
         cname = analyzed.created[var]
@@ -305,7 +306,8 @@ def _unfold_member(clause: Clause, member: MemberAtom,
 def _infer_renaming(original: Clause, renamed: Clause) -> Dict[str, str]:
     """Variable mapping between a clause and its renamed-apart copy."""
     mapping: Dict[str, str] = {}
-    for orig_atom, new_atom in zip(original.atoms(), renamed.atoms()):
+    for orig_atom, new_atom in zip(original.atoms(), renamed.atoms(),
+                                   strict=True):
         _match_vars(orig_atom, new_atom, mapping)
     return mapping
 
@@ -313,8 +315,8 @@ def _infer_renaming(original: Clause, renamed: Clause) -> Dict[str, str]:
 def _match_vars(orig, new, mapping: Dict[str, str]) -> None:
     orig_terms = orig.terms() if isinstance(orig, Atom) else [orig]
     new_terms = new.terms() if isinstance(new, Atom) else [new]
-    for o, n in zip(orig_terms, new_terms):
-        for osub, nsub in zip(o.walk(), n.walk()):
+    for o, n in zip(orig_terms, new_terms, strict=True):
+        for osub, nsub in zip(o.walk(), n.walk(), strict=True):
             if isinstance(osub, Var) and isinstance(nsub, Var):
                 mapping[osub.name] = nsub.name
 

@@ -74,5 +74,20 @@ class ServiceClient:
     def ingest(self, delta_document: Dict[str, Any]) -> Dict[str, Any]:
         return self._call("POST", "/ingest", body=delta_document)
 
+    def lint(self, program: Optional[str] = None) -> Dict[str, Any]:
+        """Lint ``program`` (or the session's own program when None).
+
+        A 400 response still carries the diagnostics report — that is
+        the "program has errors" outcome, not a transport failure.
+        """
+        body: Dict[str, Any] = (
+            {} if program is None else {"program": program})
+        try:
+            return self._call("POST", "/lint", body=body)
+        except ServiceClientError as exc:
+            if exc.status == 400 and "diagnostics" in exc.document:
+                return exc.document
+            raise
+
     def snapshot(self) -> Dict[str, Any]:
         return self._call("POST", "/snapshot", body={})

@@ -13,6 +13,10 @@ Endpoints::
     GET  /check             live source-constraint violation set
     POST /ingest            body: delta JSON (label-addressed) -> seq
     POST /snapshot          compact the store (snapshot + WAL reset)
+    POST /lint              body: {"program": "<WOL text>"} -> static
+                            analysis diagnostics (400 when the program
+                            has error-severity findings; an empty JSON
+                            object lints the session's own program)
 
 Error mapping: malformed requests and undecodable deltas are 400,
 unknown routes/classes 404, a spent session 503, anything else 500 —
@@ -174,8 +178,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(lambda: self._ingest(session, document))
         elif parsed.path == "/snapshot":
             self._dispatch(lambda: (200, session.snapshot()))
+        elif parsed.path == "/lint":
+            document = self._read_body()
+            if document is None:
+                return
+            self._dispatch(lambda: self._lint(session, document))
         else:
             self._error(404, f"no route {parsed.path}")
+
+    @staticmethod
+    def _lint(session: WarehouseSession, document: Dict[str, Any]
+              ) -> Tuple[int, Dict[str, Any]]:
+        payload = session.lint_json(document)
+        return (200 if payload["ok"] else 400), payload
 
     @staticmethod
     def _ingest(session: WarehouseSession, document: Dict[str, Any]

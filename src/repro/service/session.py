@@ -68,6 +68,7 @@ class SessionCounters:
     max_batch: int = 0
     queries: int = 0
     checks: int = 0
+    lints: int = 0
     snapshots: int = 0
     rebuild_ms: float = 0.0
     replayed_on_open: int = 0
@@ -244,6 +245,27 @@ class WarehouseSession:
                 "count": len(violations),
                 "violations": [str(v) for v in violations]}
 
+    def lint_json(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Statically analyze a WOL program against this session's schemas.
+
+        ``document`` carries ``{"program": "<WOL text>"}`` — typically a
+        candidate program an operator wants validated against the live
+        schemas before deploying it.  Without a ``program`` field the
+        session's *own* program is analyzed (its preflight report).
+        Returns the :class:`~repro.analysis.DiagnosticReport` JSON; the
+        front end maps ``ok: false`` (error diagnostics) to HTTP 400.
+        """
+        self.counters.lints += 1
+        text = document.get("program")
+        if text is None:
+            return self.morphase.preflight_report().to_json()
+        if not isinstance(text, str):
+            raise ServiceError("'program' must be a WOL program string")
+        from ..analysis import analyze_text
+        report = analyze_text(text, self.morphase.source_schemas,
+                              self.morphase.target_schema)
+        return report.to_json()
+
     def stats_json(self) -> Dict[str, Any]:
         with self._state_lock.read():
             counters = self.counters
@@ -261,6 +283,7 @@ class WarehouseSession:
                 "last_batch_ms": round(counters.last_batch_ms, 3),
                 "queries": counters.queries,
                 "checks": counters.checks,
+                "lints": counters.lints,
                 "snapshots": counters.snapshots,
                 "rebuild_ms": round(counters.rebuild_ms, 3),
                 "replayed_on_open": counters.replayed_on_open,

@@ -217,8 +217,9 @@ def sample_acedb() -> AceDatabase:
 #: Default size for parallel-scaling benchmarks: large enough that join
 #: work dominates the per-worker fixed costs (fork, re-plan, index
 #: prebuild), small enough for a CI smoke run.
-PARALLEL_BENCHMARK_SIZE = dict(genes=5000, sequences=10_000,
-                               clones=10_000, sparsity=0.9, seed=7)
+PARALLEL_BENCHMARK_SIZE = {"genes": 5000, "sequences": 10_000,
+                           "clones": 10_000, "sparsity": 0.9,
+                           "seed": 7}
 
 
 def benchmark_database(scale: float = 1.0,

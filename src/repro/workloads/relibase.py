@@ -171,8 +171,10 @@ def sample_pdb() -> Instance:
 
 #: Default size for parallel-scaling benchmarks (see
 #: :data:`repro.workloads.genome.PARALLEL_BENCHMARK_SIZE`).
-PARALLEL_BENCHMARK_SIZE = dict(proteins=2000, structures_per_protein=3,
-                               ligands=400, bindings=6000, seed=7)
+PARALLEL_BENCHMARK_SIZE = {"proteins": 2000,
+                           "structures_per_protein": 3,
+                           "ligands": 400, "bindings": 6000,
+                           "seed": 7}
 
 
 def benchmark_sources(scale: float = 1.0) -> Tuple[Instance, Instance]:

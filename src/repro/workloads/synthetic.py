@@ -43,13 +43,8 @@ def wide_schemas(width: int) -> Tuple[KeyedSchema, KeyedSchema]:
     return source, target
 
 
-def wide_program(width: int) -> Program:
-    """One producer plus one partial clause per attribute.
-
-    The producer only establishes the object and its key; each attribute
-    arrives from its own clause — the step-wise style the paper argues
-    partial rules enable.
-    """
+def wide_program_text(width: int) -> str:
+    """Program text for :func:`wide_program` (also fed to the linter)."""
     clauses: List[str] = [
         "constraint KOut: X = Mk_Out(N) <= X in Out, N = X.name;",
         "transformation P0: X in Out, X.name = N"
@@ -59,9 +54,19 @@ def wide_program(width: int) -> Program:
         clauses.append(
             f"transformation A{index}: X.a{index} = V"
             f" <= X in Out, I in Item, X.name = I.name, V = I.a{index};")
+    return "\n".join(clauses)
+
+
+def wide_program(width: int) -> Program:
+    """One producer plus one partial clause per attribute.
+
+    The producer only establishes the object and its key; each attribute
+    arrives from its own clause — the step-wise style the paper argues
+    partial rules enable.
+    """
     source, target = wide_schemas(width)
     classes = source.schema.class_names() + target.schema.class_names()
-    return parse_program("\n".join(clauses), classes=classes)
+    return parse_program(wide_program_text(width), classes=classes)
 
 
 def wide_instance(width: int, items: int) -> Instance:
@@ -93,16 +98,8 @@ def variant_schemas(width: int,
     return source, target
 
 
-def variant_split_program(width: int, choices: int = 2) -> Program:
-    """Producers per variant choice; assigners per (attribute, choice).
-
-    Combination without constraints multiplies: every producer accepts
-    every assigner candidate for every attribute, giving
-    ``choices ** width`` merged clauses per producer family.  With
-    constraints, an assigner whose tag choice differs from the
-    producer's is unsatisfiable after merging, so only the matching
-    assigners survive: ``choices`` clauses total.
-    """
+def variant_split_program_text(width: int, choices: int = 2) -> str:
+    """Program text for :func:`variant_split_program` (and the linter)."""
     clauses: List[str] = [
         "constraint KOut: X = Mk_Out(N) <= X in Out, N = X.name;",
     ]
@@ -117,9 +114,23 @@ def variant_split_program(width: int, choices: int = 2) -> Program:
                 f"transformation A{i}_{j}: X.a{i} = V"
                 f" <= X in Out, X.tag = ins_c{j}(), I in Item,"
                 f" X.name = I.name, I.tag = ins_c{j}(), V = I.a{i};")
+    return "\n".join(clauses)
+
+
+def variant_split_program(width: int, choices: int = 2) -> Program:
+    """Producers per variant choice; assigners per (attribute, choice).
+
+    Combination without constraints multiplies: every producer accepts
+    every assigner candidate for every attribute, giving
+    ``choices ** width`` merged clauses per producer family.  With
+    constraints, an assigner whose tag choice differs from the
+    producer's is unsatisfiable after merging, so only the matching
+    assigners survive: ``choices`` clauses total.
+    """
     source, target = variant_schemas(width, choices)
     classes = source.schema.class_names() + target.schema.class_names()
-    return parse_program("\n".join(clauses), classes=classes)
+    return parse_program(variant_split_program_text(width, choices),
+                         classes=classes)
 
 
 def variant_instance(width: int, choices: int, items: int) -> Instance:

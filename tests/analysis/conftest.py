@@ -1,0 +1,26 @@
+"""Shared fixtures for the static-analyzer suite."""
+
+import pytest
+
+from repro.analysis import analyze_text
+from repro.model.schema import parse_schema
+
+from .universe import SRC_TEXT, TGT_TEXT
+
+
+@pytest.fixture(scope="session")
+def src_schema():
+    return parse_schema(SRC_TEXT)
+
+
+@pytest.fixture(scope="session")
+def tgt_schema():
+    return parse_schema(TGT_TEXT)
+
+
+@pytest.fixture(scope="session")
+def lint(src_schema, tgt_schema):
+    """``lint(text) -> DiagnosticReport`` over the Item/Out universe."""
+    def run(text, sources=None, target=tgt_schema):
+        return analyze_text(text, sources or [src_schema], target)
+    return run

@@ -1,0 +1,33 @@
+"""The analyzer dogfoods: every bundled program must lint clean.
+
+Mirrors the ``workload-lint`` CI job (``python -m repro.analysis``) so
+a workload edit that introduces findings fails the test suite locally,
+not just in CI.
+"""
+
+from repro.analysis import SEVERITY_WARNING
+from repro.analysis.__main__ import WORKLOADS, lint_workloads, main
+
+
+def test_all_bundled_workloads_lint_clean():
+    results = lint_workloads()
+    assert [name for name, _ in results] == [name for name, _ in WORKLOADS]
+    noisy = {name: [str(d) for d in report.at_or_above(SEVERITY_WARNING)]
+             for name, report in results
+             if report.at_or_above(SEVERITY_WARNING)}
+    assert not noisy, f"bundled workloads must lint clean: {noisy}"
+
+
+def test_example_suppressions_are_recorded_not_silenced():
+    """The constraint-determination example carries two intentional
+    WOL301 suppressions (C6/C7 both write PlaceT scalars by design)."""
+    results = dict(lint_workloads(["example-constraint-determination"]))
+    report = results["example-constraint-determination"]
+    assert report.diagnostics == []
+    assert {d.code for d in report.suppressed} == {"WOL301"}
+
+
+def test_runner_exit_status(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out

@@ -1,0 +1,16 @@
+"""The tiny Item/Out universe every analyzer trigger test works in."""
+
+SRC_TEXT = ("schema S { class Item = (name: str, a: str, b: str) "
+            "key name; }")
+TGT_TEXT = "schema T { class Out = (name: str, v: str) key name; }"
+
+#: Key constraint + producer for Out — the clean skeleton.
+PREAMBLE = """
+constraint KOut: X = Mk_Out(N) <= X in Out, N = X.name;
+transformation P0: X in Out, X.name = N, X.v = N
+  <= I in Item, N = I.name;
+"""
+
+
+def codes_of(report):
+    return sorted({d.code for d in report.diagnostics})

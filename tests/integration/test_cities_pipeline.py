@@ -9,6 +9,7 @@ constraints (C4)/(C5) for well-definedness.
 
 import pytest
 
+from repro.engine.executor import ExecutionError
 from repro.model import Oid, Record, Variant, isomorphic
 from repro.morphase import Morphase, MorphaseError
 from repro.workloads import cities
@@ -117,7 +118,7 @@ class TestWellDefinednessNeedsConstraints:
         builder.new("CityE", Record.of(
             name="Marseille", is_capital=True, country=france))
         broken = builder.freeze()
-        with pytest.raises(Exception) as excinfo:
+        with pytest.raises(ExecutionError) as excinfo:
             morphase.transform([cities.sample_us_instance(), broken])
         assert "conflict" in str(excinfo.value)
 

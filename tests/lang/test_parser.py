@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.lang import (Clause, Const, EqAtom, InAtom, KIND_CONSTRAINT,
-                        KIND_TRANSFORMATION, LeqAtom, LtAtom, MemberAtom,
+from repro.lang import (AstError, Clause, Const, EqAtom, InAtom,
+                        KIND_CONSTRAINT, KIND_TRANSFORMATION, LeqAtom,
+                        LtAtom, MemberAtom,
                         NeqAtom, ParseError, Program, Proj, RecordTerm,
                         SkolemTerm, UNIT_CONST, Var, VariantTerm, parse_atom,
                         parse_clause, parse_program, parse_term,
@@ -162,7 +163,7 @@ class TestPrograms:
         assert program.size() == 3 + 3
 
     def test_duplicate_clause_names_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AstError):
             parse_program("A: X in C <= Y in C; A: X in C <= Y in C;")
 
     def test_resolution_pass(self):
@@ -175,7 +176,7 @@ class TestPrograms:
 
     def test_unknown_clause_name(self):
         program = parse_program(self.SOURCE)
-        with pytest.raises(Exception):
+        with pytest.raises(AstError):
             program.clause("T9")
 
 

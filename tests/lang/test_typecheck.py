@@ -207,3 +207,31 @@ class TestListMembership:
             classes=["Doc"])
         with pytest.raises(TypecheckError):
             check_clause(schema, clause)
+
+
+class TestUnresolvedObligations:
+    """Deferred inference constraints surface instead of vanishing.
+
+    ``TypeReport.unresolved_obligations()`` feeds the analyzer's
+    WOL103 warning: a projection whose subject's type never resolves is
+    not an error (partial clauses legitimately leave structure open)
+    but it can fail at runtime, so it must be reported.
+    """
+
+    def test_untypeable_projection_subject_is_reported(self):
+        from repro.model import Schema
+        schema = Schema.of("S", Pair=record(name=STR))
+        report = check_clause(
+            schema,
+            parse_clause("Y = N <= M in Pair, M = Mk_Pair(X), N = X.name;",
+                         classes=["Pair"]))
+        obligations = report.unresolved_obligations()
+        assert obligations, "the X.name projection must stay on record"
+        assert any("X.name" in entry or ".name" in entry
+                   for entry in obligations)
+
+    def test_fully_resolved_clause_has_no_obligations(self, schema):
+        report = check_clause(
+            schema, clause("X.state = Y <= Y in StateA, X = Y.capital;",
+                           schema))
+        assert report.unresolved_obligations() == []

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.model import (INT, STR, ClassType, KeyedSchema, Schema,
-                         SchemaError, merge_schemas, parse_schema, record,
-                         set_of, variant, UNIT)
+                         SchemaError, TypeError_, merge_schemas,
+                         parse_schema, record, set_of, variant, UNIT)
 
 
 def us_schema() -> Schema:
@@ -145,5 +145,7 @@ class TestParseSchema:
         "schema S { class A = (x: int) key ; }",
     ])
     def test_parse_errors(self, bad):
-        with pytest.raises(Exception):
+        # the type sublanguage raises its own error class for a
+        # malformed type expression; everything else is a SchemaError
+        with pytest.raises((SchemaError, TypeError_)):
             parse_schema(bad)

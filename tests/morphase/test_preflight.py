@@ -1,0 +1,98 @@
+"""The analyzer preflight gate on Morphase entry points.
+
+Execution-facing methods refuse to run a program the analyzer proves
+broken, with every escape hatch pinned: ``preflight=False`` opts out,
+an inline ``-- lint: disable=...`` directive suppresses a finding, and
+the report itself stays available through :meth:`preflight_report`.
+"""
+
+import pytest
+
+from repro.model import InstanceBuilder, Record
+from repro.model.schema import parse_schema
+from repro.morphase import Morphase
+from repro.morphase.system import MorphaseError
+
+SRC_TEXT = "schema S { class Item = (name: str, a: str) key name; }"
+TGT_TEXT = "schema T { class Out = (name: str, v: str) key name; }"
+
+#: Creates Out without binding its key — WOL401, an error.
+BAD = "transformation K: X in Out, X.v = V <= I in Item, V = I.a;"
+
+CLEAN = """
+constraint KOut: X = Mk_Out(N) <= X in Out, N = X.name;
+transformation P0: X in Out, X.name = N, X.v = N
+  <= I in Item, N = I.name;
+"""
+
+
+@pytest.fixture()
+def schemas():
+    return parse_schema(SRC_TEXT), parse_schema(TGT_TEXT)
+
+
+@pytest.fixture()
+def instance(schemas):
+    source, _ = schemas
+    builder = InstanceBuilder(source.schema)
+    builder.new("Item", Record.of(name="n", a="x"))
+    return builder.freeze()
+
+
+class TestPreflightGate:
+    def test_transform_refuses_erroneous_program(self, schemas, instance):
+        source, target = schemas
+        morphase = Morphase([source], target, BAD)
+        with pytest.raises(MorphaseError) as info:
+            morphase.transform([instance])
+        message = str(info.value)
+        assert "preflight analysis found" in message
+        assert "WOL401" in message
+        assert "preflight=False" in message  # the escape hatch is named
+
+    def test_check_source_also_gated(self, schemas, instance):
+        source, target = schemas
+        morphase = Morphase([source], target, BAD)
+        with pytest.raises(MorphaseError, match="preflight"):
+            morphase.check_source([instance])
+
+    def test_opt_out_reaches_the_downstream_error(self, schemas,
+                                                  instance):
+        """``preflight=False`` restores the pre-analyzer behaviour:
+        the defect is caught later (or not at all), never masked."""
+        source, target = schemas
+        morphase = Morphase([source], target, BAD, preflight=False)
+        with pytest.raises(Exception) as info:
+            morphase.transform([instance])
+        assert not isinstance(info.value, MorphaseError) or \
+            "preflight" not in str(info.value)
+
+    def test_inline_suppression_respected(self, schemas, instance):
+        source, target = schemas
+        morphase = Morphase([source], target,
+                            "-- lint: disable=WOL401\n" + BAD)
+        with pytest.raises(Exception) as info:
+            morphase.transform([instance])
+        assert "preflight" not in str(info.value)
+
+    def test_clean_program_passes_and_report_is_cached(self, schemas,
+                                                       instance):
+        source, target = schemas
+        morphase = Morphase([source], target, CLEAN)
+        report = morphase.preflight_report()
+        assert report.ok and report.diagnostics == []
+        assert morphase.preflight_report() is report  # cached
+        result = morphase.transform([instance])
+        assert result.target.size() == 1
+
+    def test_warnings_do_not_block(self, schemas, instance):
+        """The gate is error-only; warnings ride along in the report."""
+        source, target = schemas
+        conflicted = CLEAN + """
+transformation W1: X.v = V <= X in Out, I in Item,
+  X.name = I.name, V = I.a;
+"""
+        morphase = Morphase([source], target, conflicted)
+        report = morphase.preflight_report()
+        assert report.ok
+        assert any(d.code == "WOL301" for d in report.diagnostics)

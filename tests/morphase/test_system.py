@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.lang import RangeRestrictionError, TypecheckError
 from repro.model import InstanceBuilder, Record, isomorphic
+from repro.normalization import NormalizationError
 from repro.morphase import Morphase, MorphaseError
 from repro.normalization import NormalizationOptions
 from repro.workloads import cities, persons
@@ -27,12 +29,12 @@ class TestCompile:
         assert city_morphase.compile(force=True) is not first
 
     def test_typecheck_runs_at_construction(self):
-        with pytest.raises(Exception):
+        with pytest.raises(TypecheckError):
             Morphase([cities.us_schema()], cities.target_schema(),
                      "T: X in StateT, X.name = S.mayor <= S in StateA;")
 
     def test_range_restriction_runs_at_construction(self):
-        with pytest.raises(Exception):
+        with pytest.raises(RangeRestrictionError):
             Morphase([cities.us_schema()], cities.target_schema(),
                      "T: X.name < Y <= X in StateA;")
 
@@ -49,7 +51,7 @@ class TestCompile:
         morphase = Morphase(
             [persons.person_schema()], persons.evolved_schema(),
             persons.PROGRAM_TEXT, auto_keys=False)
-        with pytest.raises(Exception):
+        with pytest.raises(NormalizationError):
             morphase.compile()
 
 

@@ -205,3 +205,45 @@ class TestHealthAndSpentMapping:
         assert response.status == 400 and b"over" in body
         assert response.will_close
         conn.close()
+
+
+class TestLintEndpoint:
+    BAD_PROGRAM = ("transformation K: X in CityT, X.state = V "
+                   "<= S in StateA, V = S.nonexistent;")
+
+    def test_lint_own_program_is_clean(self, service):
+        _, _, client = service
+        document = client.lint()
+        assert document["ok"] is True
+        assert document["diagnostics"] == []
+        assert set(document["passes"]) == {
+            "safety", "deadcode", "interference", "schema"}
+
+    def test_lint_submitted_program_with_errors_is_400(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            ServiceClient(client.base_url)._call(
+                "POST", "/lint", body={"program": self.BAD_PROGRAM})
+        assert info.value.status == 400
+        document = info.value.document
+        assert document["ok"] is False
+        assert any(d["code"] == "WOL102"
+                   for d in document["diagnostics"])
+
+    def test_client_surfaces_400_report_as_document(self, service):
+        _, _, client = service
+        document = client.lint(self.BAD_PROGRAM)
+        assert document["ok"] is False and document["counts"]["error"] >= 1
+
+    def test_lint_counter_in_stats(self, service):
+        _, _, client = service
+        before = client.stats()["lints"]
+        client.lint()
+        assert client.stats()["lints"] == before + 1
+
+    def test_non_string_program_is_client_error(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client._call("POST", "/lint", body={"program": 42})
+        assert info.value.status == 400
+        assert "diagnostics" not in info.value.document
