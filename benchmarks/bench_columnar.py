@@ -1,0 +1,130 @@
+"""E9: columnar execution vs the object-at-a-time planned path.
+
+The planner (E6) fixed *what* order the joins run in; the columnar
+engine fixes *how much Python* each binding costs.  Both engines run
+the identical program plan, so the head-to-head isolates the constant
+factor: whole-column index probes, selector gathers and fused head
+application versus per-binding dict manipulation.
+
+Methodology: the two engines share one merged source and one program
+plan, repetitions interleave scalar/columnar, and the garbage
+collector is disabled inside the timed region for *both* engines —
+gen-2 collections over the multi-hundred-MB heap otherwise charge
+100ms+ to whichever engine the collector happens to interrupt, which
+is pure noise at columnar timescales.  Targets are asserted byte-equal
+and effect counters identical before any timing is reported.
+"""
+
+import gc
+import json
+import time
+
+from conftest import print_table
+
+from repro.adapters.acedb import AceDatabase, schema_of_acedb
+from repro.engine.executor import Executor
+from repro.engine.planner import plan_program
+from repro.io.json_io import instance_to_json
+from repro.morphase import Morphase
+from repro.workloads import genome, relibase
+
+
+def _genome_case(scale):
+    source_schema = schema_of_acedb(
+        AceDatabase("ACe22", genome.ACE_CLASSES))
+    morphase = Morphase([source_schema], genome.warehouse_schema(),
+                        genome.PROGRAM_TEXT)
+    source = morphase._merge_sources(
+        genome.source_instance(genome.benchmark_database(scale)))
+    program = tuple(morphase.compile().program())
+    return source, morphase.target_plain, program
+
+
+def _relibase_case(proteins):
+    morphase = Morphase(
+        [relibase.swissprot_schema(), relibase.pdb_schema()],
+        relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+    sp, pdb = relibase.generate_sources(
+        proteins, 3, proteins // 2, proteins * 2, seed=3)
+    source = morphase._merge_sources([sp, pdb])
+    program = tuple(morphase.compile().program())
+    return source, morphase.target_plain, program
+
+
+def _measure(source, target_schema, program, repetitions=3):
+    """Interleaved min-of-N of the execution phase for both engines.
+
+    Only ``run_program`` is timed (planning and freezing are shared
+    costs); GC is off inside the timed region, identically for both.
+    """
+    plan = plan_program(program, source)
+    times = {False: [], True: []}
+    executors = {}
+    for _ in range(repetitions):
+        for columnar in (False, True):
+            executor = Executor(source, target_schema,
+                                columnar=columnar)
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                executor.run_program(program, plan=plan)
+                times[columnar].append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+            executors[columnar] = executor
+
+    scalar, columnar = executors[False], executors[True]
+    assert (json.dumps(instance_to_json(scalar.freeze()), sort_keys=True)
+            == json.dumps(instance_to_json(columnar.freeze()),
+                          sort_keys=True))
+    assert (scalar.stats.objects_created
+            == columnar.stats.objects_created)
+    assert scalar.stats.attributes_set == columnar.stats.attributes_set
+    assert (scalar.stats.bindings_found
+            == columnar.stats.bindings_found)
+    assert columnar.stats.vectorized_steps > 0
+    return min(times[False]), min(times[True]), columnar.stats
+
+
+def test_columnar_vs_scalar_planned(bench_report, benchmark):
+    cases = (
+        ("genome_quarter", _genome_case(0.25), None),
+        ("genome_default", _genome_case(1.0), 5.0),
+        ("relibase_200", _relibase_case(200), None),
+    )
+    rows = []
+    for label, (source, target_schema, program), floor in cases:
+        scalar_s, columnar_s, stats = _measure(
+            source, target_schema, program)
+        speedup = round(scalar_s / columnar_s, 2)
+        rows.append((label, round(scalar_s * 1000, 1),
+                     round(columnar_s * 1000, 1), speedup,
+                     stats.vectorized_steps, stats.fallback_steps,
+                     stats.max_batch_rows))
+        fields = dict(
+            scalar_ms=round(scalar_s * 1000, 3),
+            columnar_ms=round(columnar_s * 1000, 3),
+            speedup=speedup,
+            vectorized_steps=stats.vectorized_steps,
+            fallback_steps=stats.fallback_steps)
+        if floor is not None:
+            fields["floor"] = floor
+        bench_report.record(label, **fields)
+    print_table("E9: columnar vs object-at-a-time planned execution",
+                ("case", "scalar ms", "columnar ms", "speedup",
+                 "vec steps", "fallback", "max batch"), rows)
+    # The acceptance bar: >= 5x on genome at default size (the floor
+    # key above re-checks this from the JSON in CI).
+    genome_default = rows[1]
+    assert genome_default[3] >= 5.0, genome_default
+
+    source, target_schema, program = _genome_case(0.25)
+    plan = plan_program(program, source)
+
+    def run():
+        executor = Executor(source, target_schema, columnar=True)
+        executor.run_program(program, plan=plan)
+        return executor
+
+    benchmark(run)

@@ -15,8 +15,9 @@ planner story is in ``bench_planner.py``).
 import pytest
 from conftest import best_of, print_table
 
+from repro.adapters.acedb import schema_of_acedb
 from repro.morphase import Morphase
-from repro.workloads import cities
+from repro.workloads import cities, genome, relibase
 
 SIZES = (20, 40, 80, 160)
 
@@ -106,3 +107,46 @@ def test_planner_on_vs_off(morphase, bench_report, benchmark):
         planned_ms=round(planned_time * 1000, 3),
         speedup=round(naive_time / planned_time, 2))
     benchmark(lambda: morphase.transform(sources, use_planner=True))
+
+
+def test_deployment_workload_trajectory(bench_report, benchmark):
+    """Record the naive/planned head-to-head on the two deployment
+    workloads too — a ``cities_60`` row alone tracks a toy program, so
+    regressions in the genome/ReLiBase execution profile (deeper joins,
+    set accumulation) would previously go unrecorded."""
+    cases = []
+
+    gm = Morphase([schema_of_acedb(genome.sample_acedb())],
+                  genome.warehouse_schema(), genome.PROGRAM_TEXT)
+    gm.compile()
+    database = genome.generate_acedb(20, 50, 100, sparsity=0.9, seed=8)
+    cases.append(("genome_100", gm, [genome.source_instance(database)]))
+
+    rm = Morphase([relibase.swissprot_schema(), relibase.pdb_schema()],
+                  relibase.relibase_schema(), relibase.PROGRAM_TEXT)
+    rm.compile()
+    sp, pdb = relibase.generate_sources(50, 3, 25, 100, seed=3)
+    cases.append(("relibase_50", rm, [sp, pdb]))
+
+    rows = []
+    for label, case_morphase, case_sources in cases:
+        m, srcs = case_morphase, case_sources
+        naive, naive_time = best_of(
+            lambda: m.transform(srcs, use_planner=False),
+            repetitions=2)
+        planned, planned_time = best_of(
+            lambda: m.transform(srcs), repetitions=2)
+        assert planned.target.valuations == naive.target.valuations
+        speedup = round(naive_time / planned_time, 2)
+        rows.append((label, round(naive_time * 1000, 1),
+                     round(planned_time * 1000, 1), speedup))
+        bench_report.record(
+            label,
+            naive_ms=round(naive_time * 1000, 3),
+            planned_ms=round(planned_time * 1000, 3),
+            speedup=speedup)
+    print_table("E5: planner on vs off (deployment workloads)",
+                ("case", "naive ms", "planned ms", "speedup"), rows)
+
+    gm_sources = [genome.source_instance(database)]
+    benchmark(lambda: gm.transform(gm_sources))

@@ -1,4 +1,4 @@
-"""Clause-interference analysis (WOL301-WOL304).
+"""Clause-interference analysis (WOL301-WOL305).
 
 Computes every clause's static write-set (head effects on target
 classes) and read-set (:class:`~repro.engine.incremental.ClauseReads`,
@@ -19,12 +19,16 @@ the incremental engine's own notion), then:
 * **WOL304** — clauses whose read-set is imprecise (an untypeable
   projection subject): incremental seeding must over-approximate to
   "reads everything" for them.
+* **WOL305** — clauses whose join plan has no vectorizable step; the
+  columnar executor falls back to row-at-a-time enumeration for every
+  stage of the body.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..engine.columnar import step_vectorizable
 from ..engine.incremental import ClauseReads
 from ..engine.planner import PlanError, plan_clause, shardable_step
 from ..lang.ast import Clause, EqAtom, MemberAtom, Proj, SkolemTerm, Var
@@ -40,6 +44,7 @@ def run(context: AnalysisContext) -> List[Diagnostic]:
     for index in range(len(context.clauses)):
         out.extend(_shardability(context, index))
         out.extend(_read_precision(context, index))
+        out.extend(_vectorizability(context, index))
     return out
 
 
@@ -231,7 +236,8 @@ def _classes_in_cycles(edges: Dict[str, Set[str]]) -> Set[str]:
 
 
 # ----------------------------------------------------------------------
-# WOL303 / WOL304: shardability and read-set precision
+# WOL303 / WOL304 / WOL305: shardability, read-set precision,
+# vectorizability
 # ----------------------------------------------------------------------
 
 def _shardability(context: AnalysisContext,
@@ -271,3 +277,23 @@ def _read_precision(context: AnalysisContext,
         clause=context.label(index), clause_index=index,
         suggestion="bind projection subjects through class membership "
                    "so their types are statically known")]
+
+
+def _vectorizability(context: AnalysisContext,
+                     index: int) -> List[Diagnostic]:
+    clause = context.clauses[index]
+    if not clause.body:
+        return []
+    try:
+        plan = plan_clause(clause)
+    except PlanError:
+        return []  # already WOL104
+    if any(step_vectorizable(step) for step in plan.steps):
+        return []
+    return [Diagnostic(
+        "WOL305",
+        "no step of the join plan is vectorizable; columnar execution "
+        "falls back to row-at-a-time enumeration for every stage",
+        clause=context.label(index), clause_index=index,
+        suggestion="start the body with a class membership scan or "
+                   "attribute bindings so batches can form")]

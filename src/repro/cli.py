@@ -73,7 +73,11 @@ concrete syntax; instances are the JSON interchange format of
 :mod:`repro.io` and deltas that of
 :mod:`repro.evolution.delta`.  ``transform`` runs the planned execution
 path by default; ``--no-planner`` forces the naive per-clause path and
-``--stats`` prints the executor/planner counters.  ``transform`` and
+``--stats`` prints the executor/planner counters.  Planned execution is
+vectorized (columnar) by default — whole binding batches flow through
+each clause as columns; ``--no-columnar`` on ``transform``, ``check``
+and ``apply-delta`` restores row-at-a-time execution (results are
+byte-identical either way).  ``transform`` and
 ``check`` accept ``--parallel N`` to shard the planned path across N
 worker processes (byte-identical targets, unioned violation sets).
 ``check`` and ``apply-delta`` accept ``--json`` for machine-readable
@@ -140,7 +144,8 @@ def _cmd_transform(args) -> int:
         instances, backend=args.backend,
         check_source_constraints=args.check_source,
         use_planner=not args.no_planner,
-        parallel=args.parallel)
+        parallel=args.parallel,
+        columnar=not args.no_columnar)
     dump_instance(result.target, args.out)
     sizes = ", ".join(f"{cname}={count}" for cname, count in
                       sorted(result.target.class_sizes().items()))
@@ -157,10 +162,18 @@ def _cmd_transform(args) -> int:
             parallel_note = f"{stats.shards_run} shard in-process, "
         else:
             parallel_note = ""
+        if stats.vectorized_steps or stats.fallback_steps:
+            vector_note = (f"{stats.vectorized_steps} vectorized steps "
+                           f"({stats.fallback_steps} fallback, "
+                           f"{stats.vectorized_rows} rows, "
+                           f"max batch {stats.max_batch_rows}), ")
+        else:
+            vector_note = ""
         print(f"stats: {stats.clauses_run} clauses "
               f"({stats.clauses_planned} planned, "
               f"{stats.atoms_reordered} atoms reordered), "
               f"{parallel_note}"
+              f"{vector_note}"
               f"{stats.bindings_found} bindings, "
               f"{prebuilt + stats.indexes_built} indexes built, "
               f"{stats.scans_avoided} scans avoided "
@@ -195,7 +208,8 @@ def _cmd_check(args) -> int:
         return 2
     report = audit_constraints(merged, list(program), limit_per_clause=10,
                                use_planner=not args.no_planner,
-                               parallel=args.parallel)
+                               parallel=args.parallel,
+                               columnar=not args.no_columnar)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -223,8 +237,11 @@ def _cmd_apply_delta(args) -> int:
     merged = (instances[0] if len(instances) == 1
               else merge_instances("__delta__", instances))
     delta = load_delta(args.delta, merged, labels=labels)
-    transform_state = morphase.begin_incremental(instances)
-    audit_state = morphase.begin_incremental_audit(instances)
+    columnar = not args.no_columnar
+    transform_state = morphase.begin_incremental(instances,
+                                                 columnar=columnar)
+    audit_state = morphase.begin_incremental_audit(instances,
+                                                   columnar=columnar)
     violations_before = len(audit_state.violations())
     result = morphase.apply_delta(transform_state, delta)
     audit_diff = morphase.audit_delta(audit_state, delta)
@@ -261,6 +278,10 @@ def _cmd_apply_delta(args) -> int:
                 "indexes_maintained": stats.indexes_maintained,
                 "indexes_rebuilt": stats.indexes_rebuilt,
                 "target_objects_touched": stats.target_objects_touched,
+                "vectorized_steps": stats.vectorized_steps,
+                "fallback_steps": stats.fallback_steps,
+                "vectorized_rows": stats.vectorized_rows,
+                "max_batch_rows": stats.max_batch_rows,
                 "elapsed_ms": round(stats.elapsed_seconds * 1000, 3),
             },
         }
@@ -279,6 +300,8 @@ def _cmd_apply_delta(args) -> int:
               f"bindings, {stats.target_objects_touched} target objects "
               f"touched, {stats.indexes_maintained} indexes maintained "
               f"({stats.indexes_rebuilt} rebuilt), "
+              f"{stats.vectorized_steps} vectorized steps "
+              f"({stats.fallback_steps} fallback), "
               f"{stats.elapsed_seconds * 1000:.1f} ms")
     for violation in audit_diff.added:
         print(f"  + {violation}")
@@ -454,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     transform_p.add_argument("--no-planner", action="store_true",
                              help="disable the execution planner (naive "
                                   "per-clause path)")
+    transform_p.add_argument("--no-columnar", action="store_true",
+                             help="disable vectorized (columnar) "
+                                  "execution; planned clauses run "
+                                  "row-at-a-time")
     transform_p.add_argument("--parallel", type=int, metavar="N",
                              help="shard execution across N worker "
                                   "processes (planned path only; the "
@@ -466,6 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--no-planner", action="store_true",
                          help="disable the audit planner (naive "
                               "per-clause matchers)")
+    check_p.add_argument("--no-columnar", action="store_true",
+                         help="disable vectorized (columnar) body "
+                              "enumeration for planned constraints")
     check_p.add_argument("--parallel", type=int, metavar="N",
                          help="shard the audit across N worker "
                               "processes (violation sets union)")
@@ -481,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delta JSON file to apply")
     delta_p.add_argument("--out", required=True,
                          help="updated target instance JSON to write")
+    delta_p.add_argument("--no-columnar", action="store_true",
+                         help="disable vectorized (columnar) seeded "
+                              "delta joins")
     delta_p.add_argument("--stats", action="store_true",
                          help="print incremental propagation statistics")
     delta_p.add_argument("--json", action="store_true",

@@ -1,0 +1,1060 @@
+"""Vectorized plan-step execution over columnar batches.
+
+The scalar hot path (:meth:`repro.semantics.match.Matcher.run_plan`)
+threads one binding dict at a time through the plan — a dict copy, a
+mode dispatch and a recursive ``evaluate()`` walk per step per binding.
+This module executes the *same* :class:`~repro.semantics.match.PlanStep`
+sequence one **batch** at a time instead: a batch is a dict of parallel
+binding columns (``variable -> list of values``) plus a row count, and
+each step consumes the whole batch — extent cross-products, batched
+index probes, selector filters as list comprehensions — emitting the
+surviving columns.
+
+Equivalence with the scalar path is positional, not just set-wise: a
+batch stage maps input rows in order and expands each row's candidates
+in the scalar candidate order, so the final rows enumerate in exactly
+the depth-first order ``_run_steps`` produces.  The differential fuzz
+harness holds the two paths to byte-equal results.
+
+Steps the compiler cannot vectorize — membership or ``in`` generators
+whose element is a *pattern* (unification against record/Skolem
+structure) and equations binding a non-variable pattern — run as
+**fallback stages**: the batch is re-materialised row by row through
+the scalar ``Matcher._expand_step`` and re-columnarised, so a single
+slow step never forces a whole clause off the vectorized path.
+:func:`step_vectorizable` is the static rule, shared by the planner's
+``explain()`` flag and the ``WOL305`` lint.
+
+Terms are compiled once per plan into column evaluators; a failed
+per-row evaluation (the scalar path's :class:`EvalError`) marks the row
+:data:`~repro.semantics.columns.MISSING` and the consuming stage drops
+it, mirroring ``Matcher._try_eval``.
+"""
+
+from __future__ import annotations
+
+from itertools import compress, repeat
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..lang.ast import (Const, EqAtom, InAtom, LtAtom, MemberAtom, NeqAtom,
+                        Proj, RecordTerm, SkolemTerm, Term, Var, VariantTerm)
+from ..model.instance import InstanceError
+from ..model.types import ClassType, ListType, RecordType, SetType
+from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
+from ..semantics.columns import MISSING, deterministic_order
+from ..semantics.eval import Binding, skolem_key
+from ..semantics.match import (STEP_COMPARE, STEP_EQ_BIND, STEP_EQ_TEST,
+                               STEP_IN_GENERATE, STEP_IN_TEST,
+                               STEP_MEMBER_INDEX, STEP_MEMBER_SCAN,
+                               STEP_MEMBER_TEST, Matcher, PlanStep,
+                               shard_hash)
+
+#: A batch: parallel binding columns, all of one length.
+Columns = Dict[str, List[Value]]
+
+#: A compiled stage: ``(columns, row_count) -> (columns, row_count)``.
+Stage = Callable[[Columns, int], Tuple[Columns, int]]
+
+#: Hidden-column prefix: a scan that binds variable ``X`` also emits
+#: ``\0row\0X`` holding each oid's raw :class:`ColumnStore` row, so
+#: downstream gathers and ``in``-generators index attribute arrays by
+#: integer instead of hashing oids through the intern table.  The NUL
+#: byte keeps the name disjoint from every parseable variable; row
+#: columns ride through filters like any other column and die at
+#: liveness boundaries with their base variable.
+_ROW_PREFIX = "\0row\0"
+
+
+# ----------------------------------------------------------------------
+# Static vectorizability rule
+# ----------------------------------------------------------------------
+
+_GENERATORS = (STEP_MEMBER_SCAN, STEP_MEMBER_INDEX, STEP_IN_GENERATE)
+_TESTS = (STEP_MEMBER_TEST, STEP_IN_TEST, STEP_EQ_TEST, STEP_COMPARE)
+
+
+def _compilable(term: Optional[Term]) -> bool:
+    """Can the column compiler evaluate ``term``?  (Everything the
+    scalar evaluator handles; the walk guards future AST nodes.)"""
+    if term is None:
+        return True
+    if isinstance(term, (Var, Const)):
+        return True
+    if isinstance(term, Proj):
+        return _compilable(term.subject)
+    if isinstance(term, VariantTerm):
+        return _compilable(term.payload)
+    if isinstance(term, RecordTerm):
+        return all(_compilable(sub) for _, sub in term.fields)
+    if isinstance(term, SkolemTerm):
+        return all(_compilable(sub) for _, sub in term.args)
+    return False
+
+
+def step_vectorizable(step: PlanStep) -> bool:
+    """True when ``step`` runs as an array operation over whole batches.
+
+    Generators must introduce their candidates through a plain
+    variable — a *pattern* element (record/Skolem structure) needs
+    per-candidate unification, the scalar fallback.  Equation binds
+    likewise need a variable pattern.  Pure tests always vectorize,
+    provided every term is compilable.
+    """
+    mode = step.mode
+    if mode in _GENERATORS:
+        atom = step.atom
+        if not isinstance(atom.element, Var):
+            return False
+        if mode == STEP_MEMBER_INDEX:
+            return _compilable(step.selector_term)
+        if mode == STEP_IN_GENERATE:
+            return _compilable(atom.collection)
+        return True
+    if mode == STEP_EQ_BIND:
+        return (isinstance(step.pattern_term, Var)
+                and _compilable(step.eval_term))
+    if mode in _TESTS:
+        return all(_compilable(term) for term in step.atom.terms())
+    return False
+
+
+# ----------------------------------------------------------------------
+# Term compilation: Term -> column evaluator
+# ----------------------------------------------------------------------
+
+def compile_term(term: Term, matcher: Matcher,
+                 var_class: Optional[Dict[str, str]] = None
+                 ) -> Callable[[Columns, int], List[Value]]:
+    """Compile ``term`` into a whole-column evaluator.
+
+    Rows that fail to evaluate (the scalar path's ``EvalError``) come
+    back as :data:`MISSING`.  ``var_class`` maps variables statically
+    known to hold oids of one class (membership-bound) to that class,
+    enabling gathers from prebuilt attribute columns.
+    """
+    if var_class is None:
+        var_class = {}
+    if isinstance(term, Var):
+        name = term.name
+        return lambda columns, count: columns[name]
+    if isinstance(term, Const):
+        value = term.value
+        return lambda columns, count: [value] * count
+    if isinstance(term, Proj):
+        return _compile_proj(term, matcher, var_class)
+    if isinstance(term, VariantTerm):
+        payload = compile_term(term.payload, matcher, var_class)
+        label = term.label
+
+        def variant_column(columns: Columns, count: int) -> List[Value]:
+            return [MISSING if value is MISSING else Variant(label, value)
+                    for value in payload(columns, count)]
+        return variant_column
+    if isinstance(term, RecordTerm):
+        labels = tuple(label for label, _ in term.fields)
+        parts = tuple(compile_term(sub, matcher, var_class)
+                      for _, sub in term.fields)
+
+        def record_column(columns: Columns, count: int) -> List[Value]:
+            evaluated = [part(columns, count) for part in parts]
+            out: List[Value] = []
+            for row in range(count):
+                values = tuple(column[row] for column in evaluated)
+                if any(value is MISSING for value in values):
+                    out.append(MISSING)
+                else:
+                    out.append(Record(tuple(zip(labels, values))))
+            return out
+        return record_column
+    if isinstance(term, SkolemTerm):
+        labels = tuple(label for label, _ in term.args)
+        parts = tuple(compile_term(sub, matcher, var_class)
+                      for _, sub in term.args)
+        class_name = term.class_name
+        # The key packing rule (``skolem_key``) depends only on the
+        # argument shape — resolve it once per compiled term.
+        if not parts:
+            constant = Oid.keyed(class_name, skolem_key(class_name, ()))
+            return lambda columns, count: [constant] * count
+        if labels[0] is None and len(parts) == 1:
+            single = parts[0]
+            mint = Oid.keyed_unchecked
+            # Interning minted identities matters beyond saving the
+            # constructor call: in-generate steps fan each source row
+            # out over collection elements, so identity columns are
+            # full of duplicate keys.  Handing every duplicate the
+            # same object keeps its hash cached, which is what makes
+            # the pending-store probes in the head phase cheap.
+            interned: Dict[Value, Oid] = {}
+
+            def skolem_single(columns: Columns, count: int) -> List[Value]:
+                cached = interned.get
+                out: List[Value] = []
+                append = out.append
+                for value in single(columns, count):
+                    if value is MISSING:
+                        append(MISSING)
+                        continue
+                    oid = cached(value)
+                    if oid is None:
+                        oid = mint(class_name, value)
+                        # Every identity ends up as a pending-store key;
+                        # priming the hash here skips the AttributeError
+                        # miss path of the cached __hash__ later.
+                        oid.__dict__["_hash"] = hash(
+                            (class_name, value, None))
+                        interned[value] = oid
+                    append(oid)
+                return out
+            return skolem_single
+        if labels[0] is None:
+            key_labels = tuple(f"arg{index}" for index in range(len(parts)))
+        else:
+            key_labels = labels
+        if len(set(key_labels)) != len(key_labels):
+            # Duplicate key labels: defer to skolem_key's validation
+            # row by row (the scalar behaviour).
+            def skolem_generic(columns: Columns, count: int) -> List[Value]:
+                evaluated = [part(columns, count) for part in parts]
+                out: List[Value] = []
+                for row in range(count):
+                    values = tuple(column[row] for column in evaluated)
+                    if any(value is MISSING for value in values):
+                        out.append(MISSING)
+                        continue
+                    out.append(Oid.keyed(class_name, skolem_key(
+                        class_name, tuple(zip(labels, values)))))
+                return out
+            return skolem_generic
+        # Pre-sort the label layout once so each row's key record can
+        # skip canonicalisation (Record.presorted).
+        order = sorted(range(len(key_labels)), key=lambda i: key_labels[i])
+        sorted_labels = tuple(key_labels[i] for i in order)
+        presorted = Record.presorted
+        mint = Oid.keyed_unchecked
+        if len(parts) == 2:
+            # The dominant shape (binary join keys): build record and
+            # oid with raw __dict__ writes, no per-row zip/tuple churn.
+            first, second = (parts[i] for i in order)
+            label_a, label_b = sorted_labels
+            new = object.__new__
+            record_cls, oid_cls = Record, Oid
+            interned_pairs: Dict[Tuple[Value, Value], Oid] = {}
+
+            def skolem_pair(columns: Columns, count: int) -> List[Value]:
+                cached = interned_pairs.get
+                out: List[Value] = []
+                append = out.append
+                for pair in zip(first(columns, count),
+                                second(columns, count)):
+                    value_a, value_b = pair
+                    if value_a is MISSING or value_b is MISSING:
+                        append(MISSING)
+                        continue
+                    oid = cached(pair)
+                    if oid is None:
+                        record = new(record_cls)
+                        state = record.__dict__
+                        fields = ((label_a, value_a), (label_b, value_b))
+                        state["fields"] = fields
+                        state["_index"] = {label_a: value_a,
+                                           label_b: value_b}
+                        # Prime the record and oid hash caches: these
+                        # identities go straight into pending-store and
+                        # intern dicts, and the lazy __hash__ pays two
+                        # AttributeError misses per oid otherwise.
+                        state["_hash"] = hash(fields)
+                        oid = new(oid_cls)
+                        state = oid.__dict__
+                        state["class_name"] = class_name
+                        state["key"] = record
+                        state["serial"] = None
+                        state["_hash"] = hash((class_name, record, None))
+                        interned_pairs[pair] = oid
+                    append(oid)
+                return out
+            return skolem_pair
+
+        interned_keys: Dict[Tuple[Value, ...], Oid] = {}
+
+        def skolem_column(columns: Columns, count: int) -> List[Value]:
+            cached = interned_keys.get
+            evaluated = [parts[i](columns, count) for i in order]
+            out: List[Value] = []
+            append = out.append
+            for row in range(count):
+                values = tuple(column[row] for column in evaluated)
+                if MISSING in values:
+                    append(MISSING)
+                    continue
+                oid = cached(values)
+                if oid is None:
+                    record = presorted(tuple(zip(sorted_labels, values)))
+                    record.__dict__["_hash"] = hash(record.fields)
+                    oid = mint(class_name, record)
+                    oid.__dict__["_hash"] = hash((class_name, record, None))
+                    interned_keys[values] = oid
+                append(oid)
+            return out
+        return skolem_column
+    raise NotImplementedError(f"cannot compile term {term!r}")
+
+
+def _compile_proj(term: Proj, matcher: Matcher,
+                  var_class: Dict[str, str]
+                  ) -> Callable[[Columns, int], List[Value]]:
+    attr = term.attr
+    subject = term.subject
+    if isinstance(subject, Var) and subject.name in var_class:
+        # Gather from the prebuilt attribute column: the variable is
+        # membership-bound, so every row is a (live-or-dead) oid of one
+        # class; dead rows miss the intern table and read MISSING.
+        class_name = var_class[subject.name]
+        name = subject.name
+        row_name = _ROW_PREFIX + name
+        store = matcher.columns()
+
+        def gather(columns: Columns, count: int) -> List[Value]:
+            column = store.scalar_column(class_name, attr)
+            rows = columns.get(row_name)
+            if rows is not None:
+                # The scan that bound the subject threaded its raw
+                # rows along — pure integer indexing, no oid hashing.
+                return [column[row] for row in rows]
+            get = store.row_map(class_name).get
+            out: List[Value] = []
+            append = out.append
+            for oid in columns[name]:
+                row = get(oid)
+                append(MISSING if row is None else column[row])
+            return out
+        return gather
+
+    inner = compile_term(subject, matcher, var_class)
+    instance = matcher.instance
+
+    def project_column(columns: Columns, count: int) -> List[Value]:
+        out: List[Value] = []
+        append = out.append
+        value_of = instance.value_of
+        for value in inner(columns, count):
+            if value is MISSING:
+                append(MISSING)
+                continue
+            if isinstance(value, Oid):
+                try:
+                    value = value_of(value)
+                except InstanceError:
+                    append(MISSING)
+                    continue
+            if isinstance(value, Record) and value.has(attr):
+                append(value.get(attr))
+            else:
+                append(MISSING)
+        return out
+    return project_column
+
+
+# ----------------------------------------------------------------------
+# Stage compilation: PlanStep -> batch stage
+# ----------------------------------------------------------------------
+
+def _take(columns: Columns, keep: List[int], count: int
+          ) -> Tuple[Columns, int]:
+    if len(keep) == count:
+        return columns, count
+    return ({name: [column[row] for row in keep]
+             for name, column in columns.items()}, len(keep))
+
+
+def _scan_stage(matcher: Matcher, step: PlanStep) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, MemberAtom) and isinstance(atom.element, Var)
+    class_name = atom.class_name
+    name = atom.element.name
+    shard = step.shard
+
+    row_name = _ROW_PREFIX + name
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        store = matcher.columns()
+        if shard is not None:
+            extent = store.shard_extent(class_name, shard[0], shard[1])
+            rows = None
+        else:
+            extent = store.extent(class_name)
+            rows = store.extent_rows(class_name)
+        width = len(extent)
+        if width == 0:
+            return {}, 0
+        if width == 1:
+            out = dict(columns)
+        else:
+            repeated = range(width)
+            out = {variable: [value for value in column for _ in repeated]
+                   for variable, column in columns.items()}
+        out[name] = list(extent) if count == 1 else extent * count
+        if rows is not None:
+            out[row_name] = list(rows) if count == 1 else rows * count
+        return out, count * width
+    return stage
+
+
+def _index_stage(matcher: Matcher, step: PlanStep,
+                 var_class: Dict[str, str]) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, MemberAtom) and isinstance(atom.element, Var)
+    class_name = atom.class_name
+    name = atom.element.name
+    path = step.selector_path
+    selector = compile_term(step.selector_term, matcher, var_class)
+    shard = step.shard
+    scan = _scan_stage(matcher, step)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        if not matcher.use_indexes:
+            return scan(columns, count)
+        pool = matcher.pool
+        index = pool.index_for(class_name, path)
+        get = index.get
+        values = selector(columns, count)
+        keep: List[int] = []
+        out_column: List[Value] = []
+        lookups = hits = misses = 0
+        for row, value in enumerate(values):
+            if value is MISSING:
+                continue
+            candidates = get(value, ())
+            lookups += 1
+            if candidates:
+                hits += 1
+                for oid in candidates:
+                    keep.append(row)
+                    out_column.append(oid)
+            else:
+                misses += 1
+        pool.lookups += lookups
+        pool.hits += hits
+        pool.misses += misses
+        if shard is not None:
+            index_of, shards = shard
+            hashes = matcher._shard_hashes
+            narrowed_keep: List[int] = []
+            narrowed: List[Value] = []
+            for row, oid in zip(keep, out_column):
+                code = hashes.get(oid)
+                if code is None:
+                    code = shard_hash(oid)
+                    hashes[oid] = code
+                if code % shards == index_of:
+                    narrowed_keep.append(row)
+                    narrowed.append(oid)
+            keep, out_column = narrowed_keep, narrowed
+        out = {variable: [column[row] for row in keep]
+               for variable, column in columns.items()}
+        out[name] = out_column
+        # Resolve each candidate's store row once here, so the several
+        # downstream gathers and set slices index by int instead of
+        # re-probing the intern table per stage.
+        rows_get = matcher.columns().row_map(class_name).get
+        out_rows = [rows_get(oid) for oid in out_column]
+        if None not in out_rows:
+            out[_ROW_PREFIX + name] = out_rows
+        return out, len(out_column)
+    return stage
+
+
+def _member_test_stage(matcher: Matcher, step: PlanStep,
+                       var_class: Dict[str, str]) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, MemberAtom)
+    class_name = atom.class_name
+    element = compile_term(atom.element, matcher, var_class)
+    instance = matcher.instance
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        has = instance.has_object
+        keep = [row for row, value in enumerate(element(columns, count))
+                if isinstance(value, Oid)
+                and value.class_name == class_name and has(value)]
+        return _take(columns, keep, count)
+    return stage
+
+
+def _elements_of(value: Value, attr: str) -> Sequence[Value]:
+    """Non-oid fallback of the ``in``-generator fast path: project the
+    attribute off a record value directly (anything else yields no
+    rows, like the scalar path's failed evaluation)."""
+    if isinstance(value, Record) and value.has(attr):
+        field = value.get(attr)
+        if isinstance(field, (WolSet, WolList)):
+            return deterministic_order(field)
+    return ()
+
+
+def _in_generate_stage(matcher: Matcher, step: PlanStep,
+                       var_class: Dict[str, str],
+                       var_collection: Dict[str, Tuple[str, str]]) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, InAtom) and isinstance(atom.element, Var)
+    name = atom.element.name
+    collection = atom.collection
+    if (isinstance(collection, Var)
+            and collection.name in var_collection):
+        # The collection variable was bound by a preceding equation
+        # ``V = X.attr`` (the normal form flattens nested projections
+        # that way), so the elements are exactly the subject's set
+        # column — read the pre-sorted slice instead of re-ordering
+        # each row's collection value.
+        subject, attr = var_collection[collection.name]
+        collection = Proj(Var(subject), attr)
+    if isinstance(collection, Proj) and isinstance(collection.subject, Var):
+        # Fast path: read pre-sorted flattened set columns instead of
+        # re-ordering each row's collection.
+        subject = collection.subject.name
+        attr = collection.attr
+        if subject in var_class:
+            # The subject is membership-bound: every row holds a live
+            # oid of one statically known class, so the flattened set
+            # column and intern table resolve once per batch and the
+            # per-row work is a dict probe plus a list slice.
+            class_name = var_class[subject]
+            row_name = _ROW_PREFIX + subject
+
+            def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+                store = matcher.columns()
+                column = store._set_column(class_name, attr)
+                values = column.values
+                starts = column.starts
+                lengths = column.lengths
+                keep: List[int] = []
+                extend_keep = keep.extend
+                out_column: List[Value] = []
+                extend_out = out_column.extend
+                subject_rows = columns.get(row_name)
+                if subject_rows is not None:
+                    # Integer-indexed: the subject column carries its
+                    # raw store rows (bound by an unsharded scan).
+                    mask = [lengths[at] for at in subject_rows]
+                    if max(mask, default=0) <= 1:
+                        # Option idiom (0/1-element sets): a straight
+                        # gather plus a C-speed filter, no keep list.
+                        if min(mask, default=0) == 1:
+                            out = dict(columns)
+                            out[name] = [values[starts[at]]
+                                         for at in subject_rows]
+                            return out, count
+                        out = {variable: list(compress(column_, mask))
+                               for variable, column_ in columns.items()}
+                        out[name] = [values[starts[at]]
+                                     for at, n in zip(subject_rows, mask)
+                                     if n]
+                        return out, len(out[name])
+                    for row, at in enumerate(subject_rows):
+                        length = lengths[at]
+                        if not length:
+                            continue
+                        start = starts[at]
+                        extend_out(values[start:start + length])
+                        extend_keep(repeat(row, length))
+                else:
+                    rows_get = store.row_map(class_name).get
+                    for row, oid in enumerate(columns[subject]):
+                        at = rows_get(oid)
+                        if at is None:
+                            continue
+                        length = lengths[at]
+                        if not length:
+                            continue
+                        start = starts[at]
+                        extend_out(values[start:start + length])
+                        extend_keep(repeat(row, length))
+                if len(keep) == count and keep == list(range(count)):
+                    out = dict(columns)  # every row kept exactly once
+                else:
+                    out = {variable: [column[row] for row in keep]
+                           for variable, column in columns.items()}
+                out[name] = out_column
+                return out, len(out_column)
+            return stage
+
+        def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+            store = matcher.columns()
+            slice_of = store.set_slice
+            keep: List[int] = []
+            out_column: List[Value] = []
+            for row, value in enumerate(columns[subject]):
+                elements = (slice_of(value, attr)
+                            if isinstance(value, Oid)
+                            else _elements_of(value, attr))
+                for element in elements:
+                    keep.append(row)
+                    out_column.append(element)
+            if len(keep) == count and keep == list(range(count)):
+                out = dict(columns)
+            else:
+                out = {variable: [column[row] for row in keep]
+                       for variable, column in columns.items()}
+            out[name] = out_column
+            return out, len(out_column)
+        return stage
+
+    evaluator = compile_term(collection, matcher, var_class)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        keep: List[int] = []
+        out_column: List[Value] = []
+        # Cross-products repeat collection values across rows; order
+        # each distinct object once.  Keying by id() is safe because
+        # the evaluated column keeps every value alive for the whole
+        # stage call.
+        ordered_cache: Dict[int, List[Value]] = {}
+        values = evaluator(columns, count)
+        for row, value in enumerate(values):
+            if isinstance(value, (WolSet, WolList)):
+                elements = ordered_cache.get(id(value))
+                if elements is None:
+                    elements = deterministic_order(value)
+                    ordered_cache[id(value)] = elements
+                for element in elements:
+                    keep.append(row)
+                    out_column.append(element)
+        if len(keep) == count and keep == list(range(count)):
+            out = dict(columns)
+        else:
+            out = {variable: [column[row] for row in keep]
+                   for variable, column in columns.items()}
+        out[name] = out_column
+        return out, len(out_column)
+    return stage
+
+
+def _in_generate_lengths(matcher: Matcher, step: PlanStep,
+                         var_class: Dict[str, str],
+                         var_collection: Dict[str, Tuple[str, str]]):
+    """Per-row element counts of an ``in``-generator, without
+    materialising the elements.
+
+    Mirrors ``_in_generate_stage`` branch for branch (same rewrites,
+    same fast paths, same zero-row conditions) so a fused suffix of
+    dead generators multiplies out exactly the rows the chained stages
+    would have produced.
+    """
+    atom = step.atom
+    assert isinstance(atom, InAtom) and isinstance(atom.element, Var)
+    collection = atom.collection
+    if (isinstance(collection, Var)
+            and collection.name in var_collection):
+        subject, attr = var_collection[collection.name]
+        collection = Proj(Var(subject), attr)
+    if isinstance(collection, Proj) and isinstance(collection.subject, Var):
+        subject = collection.subject.name
+        attr = collection.attr
+        if subject in var_class:
+            class_name = var_class[subject]
+            row_name = _ROW_PREFIX + subject
+
+            def lengths_fn(columns: Columns, count: int) -> List[int]:
+                store = matcher.columns()
+                lengths = store.set_lengths(class_name, attr)
+                subject_rows = columns.get(row_name)
+                if subject_rows is not None:
+                    return [lengths[at] for at in subject_rows]
+                rows_get = store.row_map(class_name).get
+                out: List[int] = []
+                append = out.append
+                for oid in columns[subject]:
+                    at = rows_get(oid)
+                    append(0 if at is None else lengths[at])
+                return out
+            return lengths_fn
+
+        def lengths_fn(columns: Columns, count: int) -> List[int]:
+            slice_of = matcher.columns().set_slice
+            return [len(slice_of(value, attr)) if isinstance(value, Oid)
+                    else len(_elements_of(value, attr))
+                    for value in columns[subject]]
+        return lengths_fn
+
+    evaluator = compile_term(collection, matcher, var_class)
+
+    def lengths_fn(columns: Columns, count: int) -> List[int]:
+        return [len(value) if isinstance(value, (WolSet, WolList)) else 0
+                for value in evaluator(columns, count)]
+    return lengths_fn
+
+
+def _fused_expand_stage(length_fns: List) -> Stage:
+    """One stage standing in for a trailing run of ``in``-generators
+    whose element variables are all dead.
+
+    A dead generator's only observable effect is row multiplicity
+    (empty collections drop the row, n-element collections repeat it),
+    so the fusion computes each source row's multiplicity — the product
+    of its per-generator element counts — and expands every live
+    column once.  Nested-loop enumeration order is preserved: repeated
+    copies of a source row are exactly the rows the chained stages
+    would emit, in the same positions.
+    """
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        mults = length_fns[0](columns, count)
+        for length_fn in length_fns[1:]:
+            extra = length_fn(columns, count)
+            mults = [m * n for m, n in zip(mults, extra)]
+        # The ACE option idiom stores scalar attributes as 0/1-element
+        # sets, so multiplicities are almost always 0 or 1: a pure
+        # filter (or a no-op) — take those paths before the general
+        # repeat-expansion.
+        if max(mults) <= 1:
+            if min(mults) == 1:
+                return dict(columns), count
+            keep = [row for row, n in enumerate(mults) if n]
+            return _take(columns, keep, count)
+        out = {variable: [x for value, n in zip(column, mults)
+                          for x in repeat(value, n)]
+               for variable, column in columns.items()}
+        return out, sum(mults)
+    return stage
+
+
+def _in_test_stage(matcher: Matcher, step: PlanStep,
+                   var_class: Dict[str, str]) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, InAtom)
+    collection = compile_term(atom.collection, matcher, var_class)
+    element = compile_term(atom.element, matcher, var_class)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        collections = collection(columns, count)
+        values = element(columns, count)
+        # ``in`` hits WolSet's hash-based __contains__ — the linear
+        # equality scan it replaces is what the scalar path does, with
+        # the same equality relation, so the kept rows are identical.
+        keep = [row for row in range(count)
+                if isinstance(collections[row], (WolSet, WolList))
+                and values[row] in collections[row]]
+        return _take(columns, keep, count)
+    return stage
+
+
+def _eq_bind_stage(matcher: Matcher, step: PlanStep,
+                   var_class: Dict[str, str]) -> Stage:
+    assert isinstance(step.pattern_term, Var)
+    name = step.pattern_term.name
+    evaluator = compile_term(step.eval_term, matcher, var_class)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        values = evaluator(columns, count)
+        keep = [row for row, value in enumerate(values)
+                if value is not MISSING]
+        if len(keep) == count:
+            out = dict(columns)
+            out[name] = values
+            return out, count
+        out = {variable: [column[row] for row in keep]
+               for variable, column in columns.items()}
+        out[name] = [values[row] for row in keep]
+        return out, len(keep)
+    return stage
+
+
+def _eq_test_stage(matcher: Matcher, step: PlanStep,
+                   var_class: Dict[str, str]) -> Stage:
+    atom = step.atom
+    assert isinstance(atom, EqAtom)
+    left = compile_term(atom.left, matcher, var_class)
+    right = compile_term(atom.right, matcher, var_class)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        lefts = left(columns, count)
+        rights = right(columns, count)
+        keep = [row for row in range(count)
+                if lefts[row] is not MISSING
+                and rights[row] is not MISSING
+                and lefts[row] == rights[row]]
+        return _take(columns, keep, count)
+    return stage
+
+
+def _compare_stage(matcher: Matcher, step: PlanStep,
+                   var_class: Dict[str, str]) -> Stage:
+    atom = step.atom
+    left = compile_term(atom.left, matcher, var_class)
+    right = compile_term(atom.right, matcher, var_class)
+    neq = isinstance(atom, NeqAtom)
+    strict = isinstance(atom, LtAtom)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        lefts = left(columns, count)
+        rights = right(columns, count)
+        keep: List[int] = []
+        for row in range(count):
+            low, high = lefts[row], rights[row]
+            if low is MISSING or high is MISSING:
+                continue
+            if neq:
+                if low != high:
+                    keep.append(row)
+                continue
+            try:
+                holds = low < high if strict else low <= high
+            except TypeError:
+                continue
+            if holds:
+                keep.append(row)
+        return _take(columns, keep, count)
+    return stage
+
+
+def _fallback_stage(matcher: Matcher, step: PlanStep) -> Stage:
+    """Row-at-a-time escape hatch: re-materialise each row as a binding
+    dict, run the scalar ``_expand_step``, re-columnarise the output.
+
+    The known columns are read off the runtime batch (not frozen at
+    compile time) so liveness filtering upstream narrows this stage's
+    re-materialisation cost too."""
+    binds = tuple(step.binds)
+
+    def stage(columns: Columns, count: int) -> Tuple[Columns, int]:
+        expand = matcher._expand_step
+        known = tuple(name for name in columns
+                      if not name.startswith(_ROW_PREFIX))
+        hidden = tuple(name for name in columns
+                       if name.startswith(_ROW_PREFIX))
+        out_names = known + tuple(name for name in binds
+                                  if name not in columns)
+        out: Columns = {name: [] for name in out_names}
+        for name in hidden:  # carried along, never shown to the matcher
+            out[name] = []
+        appends = [(name, out[name].append) for name in out_names]
+        rows = 0
+        for row in range(count):
+            binding = {name: columns[name][row] for name in known}
+            emitted = 0
+            for extended in expand(step, binding):
+                emitted += 1
+                for name, append in appends:
+                    append(extended.get(name))
+            if emitted:
+                rows += emitted
+                for name in hidden:
+                    out[name].extend(repeat(columns[name][row], emitted))
+        return out, rows
+    return stage
+
+
+_VECTOR_STAGES = {
+    STEP_MEMBER_INDEX: _index_stage,
+    STEP_MEMBER_TEST: _member_test_stage,
+    STEP_IN_TEST: _in_test_stage,
+    STEP_EQ_BIND: _eq_bind_stage,
+    STEP_EQ_TEST: _eq_test_stage,
+    STEP_COMPARE: _compare_stage,
+}
+
+
+def _element_class(matcher: Matcher, class_name: str,
+                   attr: str) -> Optional[str]:
+    """The class of ``class_name.attr``'s collection elements, when the
+    schema declares one — so a well-formed instance guarantees every
+    stored element is a live oid of that class."""
+    try:
+        ctype = matcher.instance.schema.class_type(class_name)
+    except Exception:
+        return None
+    if not isinstance(ctype, RecordType) or not ctype.has_field(attr):
+        return None
+    fty = ctype.field_type(attr)
+    if (isinstance(fty, (SetType, ListType))
+            and isinstance(fty.element, ClassType)):
+        return fty.element.name
+    return None
+
+
+def _step_variables(step: PlanStep) -> frozenset:
+    """Every variable a compiled stage may read for ``step``."""
+    out = step.atom.variables()
+    for term in (step.selector_term, step.eval_term, step.pattern_term):
+        if term is not None:
+            out |= term.variables()
+    return out
+
+
+def compile_steps(matcher: Matcher, steps: Sequence[PlanStep],
+                  initial_names: Tuple[str, ...],
+                  needed: Optional[frozenset] = None
+                  ) -> Tuple[List[Tuple[bool, Stage]], Tuple[str, ...],
+                             List[Optional[frozenset]]]:
+    """Compile a plan into batch stages.
+
+    Returns ``(stages, names, retains)``: per-step ``(vectorized,
+    stage)`` pairs, the final column names in binding order, and — when
+    ``needed`` (the variables the *caller* reads from the final batch)
+    is given — per-step retention sets for liveness filtering: after
+    stage ``i`` only ``retains[i]`` columns are still live, the rest
+    are dead weight every later stage would copy through its row
+    filters.  With ``needed`` None every retention is None (no
+    filtering).  ``var_class`` tracks variables statically known to
+    hold one class's oids (membership binds and passed membership
+    tests), typing downstream projection gathers.
+    """
+    known: List[str] = list(initial_names)
+    var_class: Dict[str, str] = {}
+    var_collection: Dict[str, Tuple[str, str]] = {}
+    stages: List[Tuple[bool, Stage]] = []
+    reads: List[frozenset] = []
+    # Lengths-only twins of the in-generate stages, compiled at the
+    # same point of the pass (var_class/var_collection are mutated as
+    # we go, so a later compile could take a different branch).
+    length_of: Dict[int, object] = {}
+    for index, step in enumerate(steps):
+        extra_reads: frozenset = frozenset()
+        if step_vectorizable(step):
+            mode = step.mode
+            if mode == STEP_MEMBER_SCAN:
+                stage = _scan_stage(matcher, step)
+            elif mode == STEP_IN_GENERATE:
+                collection = step.atom.collection
+                if (isinstance(collection, Var)
+                        and collection.name in var_collection):
+                    # The stage reads the rewrite's subject column,
+                    # not the collection variable (see the rewrite in
+                    # ``_in_generate_stage``) — keep the subject live.
+                    extra_reads = frozenset(
+                        (var_collection[collection.name][0],))
+                stage = _in_generate_stage(matcher, step, var_class,
+                                           var_collection)
+                if isinstance(step.atom.element, Var):
+                    length_of[index] = _in_generate_lengths(
+                        matcher, step, var_class, var_collection)
+            else:
+                stage = _VECTOR_STAGES[mode](matcher, step, var_class)
+            stages.append((True, stage))
+        else:
+            stages.append((False, _fallback_stage(matcher, step)))
+        reads.append(_step_variables(step) | extra_reads)
+        atom = step.atom
+        if isinstance(atom, MemberAtom) and isinstance(atom.element, Var):
+            var_class[atom.element.name] = atom.class_name
+        if (step.mode == STEP_IN_GENERATE
+                and isinstance(atom.element, Var)):
+            # Elements drawn from a class-typed collection attribute
+            # are oids of that class (instance well-formedness), so
+            # downstream projections off them can gather too.
+            collection = atom.collection
+            if (isinstance(collection, Var)
+                    and collection.name in var_collection):
+                source_var, source_attr = var_collection[collection.name]
+            elif (isinstance(collection, Proj)
+                    and isinstance(collection.subject, Var)):
+                source_var, source_attr = (collection.subject.name,
+                                           collection.attr)
+            else:
+                source_var = None
+            if source_var is not None and source_var in var_class:
+                element_class = _element_class(
+                    matcher, var_class[source_var], source_attr)
+                if element_class is not None:
+                    var_class[atom.element.name] = element_class
+        if (step.mode == STEP_EQ_BIND
+                and isinstance(step.pattern_term, Var)
+                and isinstance(step.eval_term, Proj)
+                and isinstance(step.eval_term.subject, Var)):
+            var_collection[step.pattern_term.name] = (
+                step.eval_term.subject.name, step.eval_term.attr)
+        known.extend(step.binds)
+    retains: List[Optional[frozenset]] = [None] * len(stages)
+    if needed is not None:
+        alive = frozenset(needed)
+        for index in range(len(stages) - 1, -1, -1):
+            retains[index] = alive
+            alive |= reads[index]
+        # Fuse the trailing run of in-generators binding dead element
+        # variables (not needed by the caller, not read by any later
+        # step) into one multiplicity-expansion stage: their elements
+        # are never looked at, only how many rows each one multiplies
+        # out to.
+        blocked = set(needed)
+        first = len(stages)
+        for index in range(len(stages) - 1, -1, -1):
+            length_fn = length_of.get(index)
+            if (length_fn is None
+                    or steps[index].atom.element.name in blocked):
+                break
+            first = index
+            blocked |= reads[index]
+        if first < len(stages):
+            fused = [length_of[i] for i in range(first, len(stages))]
+            stages[first:] = [(True, _fused_expand_stage(fused))]
+            retains[first:] = [frozenset(needed)]
+    return stages, tuple(known), retains
+
+
+# ----------------------------------------------------------------------
+# Batch runners
+# ----------------------------------------------------------------------
+
+def run_steps_columnar(matcher: Matcher, steps: Sequence[PlanStep],
+                       columns: Columns, count: int, stats=None,
+                       needed: Optional[frozenset] = None
+                       ) -> Tuple[Tuple[str, ...], Columns, int]:
+    """Run a plan over an initial batch; returns final names/columns.
+
+    ``stats`` is any object with ``vectorized_steps``,
+    ``fallback_steps``, ``vectorized_rows`` and ``max_batch_rows``
+    counters (``ExecutionStats`` and ``IncrementalStats`` both qualify).
+
+    With ``needed``, dead binding columns are dropped between stages
+    (liveness filtering): the final batch holds only the columns the
+    caller reads, so callers must index it by key, not by the full
+    ``names`` tuple.
+    """
+    stages, names, retains = compile_steps(
+        matcher, tuple(steps), tuple(columns), needed)
+    for (vectorized, stage), retain in zip(stages, retains):
+        if count == 0:
+            return names, {name: [] for name in names}, 0
+        if stats is not None:
+            if vectorized:
+                stats.vectorized_steps += 1
+                stats.vectorized_rows += count
+                if count > stats.max_batch_rows:
+                    stats.max_batch_rows = count
+            else:
+                stats.fallback_steps += 1
+        columns, count = stage(columns, count)
+        if retain is not None and not retain.issuperset(columns):
+            prefix = _ROW_PREFIX
+            cut = len(prefix)
+            columns = {name: column for name, column in columns.items()
+                       if name in retain
+                       or (name.startswith(prefix) and name[cut:] in retain)}
+    if count == 0:
+        return names, {name: [] for name in names}, 0
+    return names, columns, count
+
+
+def stream_plan_columnar(matcher: Matcher, steps: Sequence[PlanStep],
+                         initial: Optional[Binding], stats=None):
+    """Binding-dict iterator over a columnar run (scalar-compatible)."""
+    columns: Columns = {name: [value]
+                        for name, value in (initial or {}).items()}
+    names, columns, count = run_steps_columnar(
+        matcher, steps, columns, 1, stats)
+    for row in range(count):
+        yield {name: columns[name][row] for name in names}
+
+
+def seeded_batch_columnar(matcher: Matcher, steps: Sequence[PlanStep],
+                          variable: str, oids: Sequence[Oid], stats=None):
+    """Binding iterator for a whole seed vector in one batch.
+
+    Equivalent to running the seeded plan once per oid (the scalar
+    incremental loop) — batch rows stay grouped by seed oid in seed
+    order, so downstream deduplication sees bindings in the same order.
+    """
+    columns: Columns = {variable: list(oids)}
+    names, columns, count = run_steps_columnar(
+        matcher, steps, columns, len(oids), stats)
+    for row in range(count):
+        yield {name: columns[name][row] for name in names}

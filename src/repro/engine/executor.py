@@ -88,6 +88,14 @@ class ExecutionStats:
     index_hits: int = 0
     index_misses: int = 0
     scans_avoided: int = 0
+    #: Vectorized execution (:mod:`repro.engine.columnar`): plan steps
+    #: run as whole-batch array operations vs. steps that fell back to
+    #: the scalar path, total rows entering vectorized steps, and the
+    #: largest batch seen (0s whenever ``columnar`` is off).
+    vectorized_steps: int = 0
+    fallback_steps: int = 0
+    vectorized_rows: int = 0
+    max_batch_rows: int = 0
     #: Parallel execution only: shards executed and worker processes
     #: used (0/0 on the sequential paths).  The additive counters above
     #: are summed across shards, so e.g. ``bindings_found`` still equals
@@ -111,6 +119,11 @@ class ExecutionStats:
         self.index_hits += other.index_hits
         self.index_misses += other.index_misses
         self.scans_avoided += other.scans_avoided
+        self.vectorized_steps += other.vectorized_steps
+        self.fallback_steps += other.fallback_steps
+        self.vectorized_rows += other.vectorized_rows
+        self.max_batch_rows = max(self.max_batch_rows,
+                                  other.max_batch_rows)
 
 
 @dataclass
@@ -144,13 +157,22 @@ class Executor:
     def __init__(self, source: Instance, target_schema: Schema,
                  use_planner: bool = False,
                  index_pool: Optional[IndexPool] = None,
-                 shard: Optional[Tuple[int, int]] = None) -> None:
+                 shard: Optional[Tuple[int, int]] = None,
+                 columnar: bool = True) -> None:
         self.source = source
         self.target_schema = target_schema
         self.use_planner = use_planner
         self.shard = shard
+        #: Vectorized plan execution (applies to planned clauses only;
+        #: the dynamic fallback is always object-at-a-time).  Off, the
+        #: scalar ``run_plan`` path serves as the differential oracle.
+        self.columnar = columnar
         self._matcher = Matcher(source, index_pool=index_pool)
         self._pending: Dict[Oid, _PendingObject] = {}
+        #: Pending objects per class — lets the batched head prove "no
+        #: object of this class exists yet" in O(1) for its fused
+        #: create-and-assign fast path.
+        self._pending_classes: Dict[str, int] = {}
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------
@@ -207,12 +229,401 @@ class Executor:
         if join_plan is not None:
             self.stats.clauses_planned += 1
             self.stats.atoms_reordered += join_plan.atoms_reordered
+            if self.columnar:
+                self._run_clause_columnar(clause, plan, join_plan)
+                return
             bindings = self._matcher.run_plan(join_plan.steps)
         else:
             bindings = self._matcher.solutions(clause.body)
         for binding in bindings:
             self.stats.bindings_found += 1
             self._apply_head(plan, binding, clause)
+
+    def _run_clause_columnar(self, clause: Clause, plan: "_HeadPlan",
+                             join_plan: JoinPlan) -> None:
+        """Vectorized clause execution: body as batch stages, head
+        effects applied column-wise.
+
+        The head path is *optimistic*: identity, assignment, insertion
+        and check terms are evaluated as whole columns and applied
+        row-major (preserving the scalar conflict-detection order).  On
+        any anomaly a column cannot express — a failed evaluation, a
+        non-oid identity, a failed check — the batch replays row by row
+        through the scalar :func:`head_effects`, so errors surface with
+        exactly the scalar message at exactly the scalar position.
+        """
+        from ..semantics.match import STEP_EQ_BIND
+        from .columnar import run_steps_columnar
+        # The head reads exactly these variables (``head_effects``'s
+        # evaluation surface); every other binding column is dead after
+        # the body and gets dropped between stages.
+        needed = set(plan.created)
+        for var, skolem in plan.identity_order:
+            needed.add(var)
+            needed |= skolem.variables()
+        for var, _attr, term in plan.assignments:
+            needed.add(var)
+            needed |= term.variables()
+        for var, _attr, term in plan.insertions:
+            needed.add(var)
+            needed |= term.variables()
+        for check in plan.checks:
+            needed |= check.variables()
+        names, columns, count = run_steps_columnar(
+            self._matcher, join_plan.steps, {}, 1, self.stats,
+            needed=frozenset(needed))
+        self.stats.bindings_found += count
+        if count == 0:
+            return
+        label = clause.name or str(clause)
+        # Identity variables the body already bound by evaluating the
+        # *same* Skolem term need no head recompute-and-compare: the
+        # columns are definitionally equal.
+        trusted = {
+            step.pattern_term.name for step in join_plan.steps
+            if step.mode == STEP_EQ_BIND
+            and isinstance(step.pattern_term, Var)
+            and isinstance(step.eval_term, SkolemTerm)}
+        trusted = {var for var, skolem in plan.identity_order
+                   if var in trusted and any(
+                       step.mode == STEP_EQ_BIND
+                       and isinstance(step.pattern_term, Var)
+                       and step.pattern_term.name == var
+                       and step.eval_term == skolem
+                       for step in join_plan.steps)}
+        # Head terms compile against the same class typing the body
+        # derived (membership-bound vars), so head projections gather
+        # from attribute columns and reuse the hidden row columns the
+        # scans threaded through.
+        var_class = {
+            step.atom.element.name: step.atom.class_name
+            for step in join_plan.steps
+            if isinstance(step.atom, MemberAtom)
+            and isinstance(step.atom.element, Var)}
+        if not self._apply_heads_batch(plan, columns, count, label,
+                                       trusted=trusted,
+                                       var_class=var_class):
+            # Liveness filtering may have dropped columns `names`
+            # mentions; the surviving ones are exactly what the head
+            # reads, so replay bindings from the batch itself.
+            for row in range(count):
+                binding = {name: column[row]
+                           for name, column in columns.items()}
+                self._apply_head(plan, binding, clause)
+
+    def _apply_heads_batch(self, plan: "_HeadPlan", columns: Mapping,
+                           count: int, label: str,
+                           trusted: Optional[Set[str]] = None,
+                           var_class: Optional[Dict[str, str]] = None
+                           ) -> bool:
+        """Apply a whole batch of head effects; False = replay scalar.
+
+        Every anomaly the scalar path reports with an error — a failed
+        evaluation, an identity mismatch, an unknown target class, a
+        functionality conflict — is detected *before* any attribute is
+        written, so a False return leaves the pending attributes
+        untouched and the scalar replay raises exactly the scalar
+        error at exactly the scalar position.  (Pending *objects* may
+        already exist by then: creation is idempotent and observable
+        only through the class check, which is part of the precheck.)
+        """
+        from ..semantics.columns import MISSING
+        from .columnar import compile_term
+        matcher = self._matcher
+        local: Dict[str, List[Value]] = dict(columns)
+
+        def evaluate_column(term: Term) -> Optional[List[Value]]:
+            try:
+                column = compile_term(term, matcher, var_class)(local, count)
+            except NotImplementedError:
+                return None
+            if MISSING in column:  # identity-first C scan, no genexpr
+                return None
+            return column
+
+        for var, skolem in plan.identity_order:
+            if trusted and var in trusted:
+                continue  # body bound it from the identical Skolem term
+            column = evaluate_column(skolem)
+            if column is None:
+                return False
+            existing = local.get(var)
+            if existing is not None and existing != column:
+                return False  # identity mismatch somewhere in the batch
+            local[var] = column
+
+        has_class = self.target_schema.has_class
+        # A subject column is scanned for validity at most once even
+        # when several attributes write through it (same list object).
+        valid_subjects: Set[int] = set()
+
+        def subjects_ok(column: List[Value]) -> bool:
+            if id(column) in valid_subjects:
+                return True
+            if any(not isinstance(oid, Oid) or not has_class(oid.class_name)
+                   for oid in column):
+                return False
+            valid_subjects.add(id(column))
+            return True
+
+        creates: List[List[Value]] = []
+        for var, class_name in plan.created.items():
+            column = local.get(var)
+            if column is None or any(
+                    not isinstance(oid, Oid) or oid.class_name != class_name
+                    for oid in column):
+                return False
+            if has_class(class_name):
+                valid_subjects.add(id(column))
+            creates.append(column)
+
+        assignments: List[Tuple[List[Value], str, List[Value]]] = []
+        for var, attr, value_term in plan.assignments:
+            subjects = local.get(var)
+            if subjects is None or not subjects_ok(subjects):
+                return False
+            column = evaluate_column(value_term)
+            if column is None:
+                return False
+            assignments.append((subjects, attr, column))
+        # Two entries writing the same attribute could conflict across
+        # columns; the per-entry conflict scan below would miss that.
+        attrs = [attr for _, attr, _ in assignments]
+        if len(set(attrs)) != len(attrs):
+            return False
+
+        insertions: List[Tuple[List[Value], str, List[Value]]] = []
+        for var, attr, element_term in plan.insertions:
+            subjects = local.get(var)
+            if subjects is None or not subjects_ok(subjects):
+                return False
+            column = evaluate_column(element_term)
+            if column is None:
+                return False
+            insertions.append((subjects, attr, column))
+
+        for check in plan.checks:
+            lefts = evaluate_column(check.left)
+            rights = evaluate_column(check.right)
+            if lefts is None or rights is None or lefts != rights:
+                return False
+
+        class_counts = self._pending_classes
+        # Fused fast path for the dominant head shape: one created
+        # class nothing has touched yet, every assignment through the
+        # created variable, no insertions or residual checks.  Each row
+        # then builds its finished pending object — identity, all
+        # attributes, provenance — in a single pass into a side dict.
+        # Duplicate subjects collapse in that dict, so a length mismatch
+        # at the end detects them before anything is published, and the
+        # generic (conflict-scanned) path below takes over untouched.
+        if (len(plan.created) == 1 and not insertions and not plan.checks
+                and 1 <= len(assignments) <= 4):
+            (created_var, created_class), = plan.created.items()
+            subjects0 = local[created_var]
+            if (all(subjects is subjects0 for subjects, _, _ in assignments)
+                    and class_counts.get(created_class, 0) == 0):
+                new = object.__new__
+                pending_cls = _PendingObject
+                fresh: Dict[Oid, _PendingObject] = {}
+                attrs = [attr for _, attr, _ in assignments]
+                value_columns = [column for _, _, column in assignments]
+                if len(assignments) == 1:
+                    a1, = attrs
+                    c1, = value_columns
+                    for oid, v1 in zip(subjects0, c1):
+                        pending = new(pending_cls)
+                        state = pending.__dict__
+                        state["class_name"] = created_class
+                        state["oid"] = oid
+                        state["attributes"] = {a1: v1}
+                        state["set_attributes"] = {}
+                        state["provenance"] = {a1: label}
+                        fresh[oid] = pending
+                elif len(assignments) == 2:
+                    a1, a2 = attrs
+                    c1, c2 = value_columns
+                    for oid, v1, v2 in zip(subjects0, c1, c2):
+                        pending = new(pending_cls)
+                        state = pending.__dict__
+                        state["class_name"] = created_class
+                        state["oid"] = oid
+                        state["attributes"] = {a1: v1, a2: v2}
+                        state["set_attributes"] = {}
+                        state["provenance"] = {a1: label, a2: label}
+                        fresh[oid] = pending
+                elif len(assignments) == 3:
+                    a1, a2, a3 = attrs
+                    c1, c2, c3 = value_columns
+                    for oid, v1, v2, v3 in zip(subjects0, c1, c2, c3):
+                        pending = new(pending_cls)
+                        state = pending.__dict__
+                        state["class_name"] = created_class
+                        state["oid"] = oid
+                        state["attributes"] = {a1: v1, a2: v2, a3: v3}
+                        state["set_attributes"] = {}
+                        state["provenance"] = {a1: label, a2: label,
+                                               a3: label}
+                        fresh[oid] = pending
+                else:
+                    a1, a2, a3, a4 = attrs
+                    c1, c2, c3, c4 = value_columns
+                    for oid, v1, v2, v3, v4 in zip(subjects0, c1, c2, c3,
+                                                   c4):
+                        pending = new(pending_cls)
+                        state = pending.__dict__
+                        state["class_name"] = created_class
+                        state["oid"] = oid
+                        state["attributes"] = {a1: v1, a2: v2, a3: v3,
+                                               a4: v4}
+                        state["set_attributes"] = {}
+                        state["provenance"] = {a1: label, a2: label,
+                                               a3: label, a4: label}
+                        fresh[oid] = pending
+                if len(fresh) != count:
+                    # Duplicate subjects collapsed in the dict: later
+                    # occurrences overwrote earlier pendings, which is
+                    # only sound if every row agrees with its subject's
+                    # surviving values.  Verify before publishing; a
+                    # disagreement is a functionality conflict, and
+                    # nothing has been published yet, so the scalar
+                    # replay raises the canonical error.
+                    fresh_get = fresh.get
+                    for row_values in zip(subjects0, *value_columns):
+                        attributes = fresh_get(row_values[0]).attributes
+                        for attr, value in zip(attrs, row_values[1:]):
+                            prev = attributes[attr]
+                            if prev is not value and prev != value:
+                                return False
+                self._pending.update(fresh)
+                class_counts[created_class] = len(fresh)
+                self.stats.objects_created += len(fresh)
+                self.stats.attributes_set += count * len(assignments)
+                return True
+
+        # Materialise every pending object column-wise (idempotent, so
+        # safe before the conflict scan; class validity is prechecked).
+        # Each distinct subject column resolves to its pending objects
+        # exactly once.  Identity columns intern their oids (the skolem
+        # stages hand every duplicate key the same object), so the
+        # id()-keyed memo turns the per-row probe into an int hash and
+        # the value-hashing pending-store lookup runs once per *unique*
+        # oid, not once per row.
+        pending_map = self._pending
+        new_objects = 0
+        resolved_columns: Dict[int, List[_PendingObject]] = {}
+        # Subject columns proven to hold pairwise-distinct oids that
+        # did not exist before this batch.  Their pendings have no
+        # attributes yet and no row shares a subject, so writes through
+        # them need no conflict scan at all (the dominant case: heads
+        # creating one object per binding).
+        fresh_columns: Set[int] = set()
+        by_identity: Dict[int, _PendingObject] = {}
+        new = object.__new__
+        pending_cls = _PendingObject
+
+        def resolve(column: List[Value]) -> List[_PendingObject]:
+            nonlocal new_objects
+            pendings = resolved_columns.get(id(column))
+            if pendings is not None:
+                return pendings
+            pendings = []
+            append = pendings.append
+            get = pending_map.get
+            memo_get = by_identity.get
+            fresh = True
+            for oid in column:
+                pending = memo_get(id(oid))
+                if pending is None:
+                    pending = get(oid)
+                    if pending is None:
+                        pending = new(pending_cls)
+                        state = pending.__dict__
+                        state["class_name"] = oid.class_name
+                        state["oid"] = oid
+                        state["attributes"] = {}
+                        state["set_attributes"] = {}
+                        state["provenance"] = {}
+                        pending_map[oid] = pending
+                        class_counts[oid.class_name] = (
+                            class_counts.get(oid.class_name, 0) + 1)
+                        new_objects += 1
+                    else:
+                        fresh = False  # pre-existing object
+                    by_identity[id(oid)] = pending
+                else:
+                    fresh = False  # duplicate subject within the batch
+                append(pending)
+            resolved_columns[id(column)] = pendings
+            if fresh:
+                fresh_columns.add(id(pendings))
+            return pendings
+
+        for column in creates:
+            resolve(column)
+        assignments = [(resolve(subjects), attr, column)
+                       for subjects, attr, column in assignments]
+        insertions = [(resolve(subjects), attr, column)
+                      for subjects, attr, column in insertions]
+        self.stats.objects_created += new_objects
+
+        # Functionality conflict scan — within the batch and against
+        # attributes earlier clauses derived.  Nothing has been written
+        # yet, so a conflict can still hand the whole batch to the
+        # scalar replay for the canonical error.  The scan collects one
+        # (pending, value) pair per distinct subject in passing: rows
+        # sharing a subject were just proved to agree, so the apply
+        # phase below writes each attribute once per object instead of
+        # once per row (the scalar path's duplicate writes are no-ops).
+        writes: List[Tuple[str, List[Tuple[_PendingObject, Value]]]] = []
+        for pendings, attr, column in assignments:
+            if id(pendings) in fresh_columns:
+                # Distinct, newly created subjects: nothing to conflict
+                # with, inside the batch or out of it.
+                writes.append((attr, list(zip(pendings, column))))
+                continue
+            seen: Dict[int, Value] = {}
+            seen_get = seen.get
+            unique: List[Tuple[_PendingObject, Value]] = []
+            keep = unique.append
+            for pending, value in zip(pendings, column):
+                prev = seen_get(id(pending))
+                if prev is None:
+                    existing = pending.attributes.get(attr)
+                    if (existing is not None and existing is not value
+                            and existing != value):
+                        return False
+                    seen[id(pending)] = value
+                    keep((pending, value))
+                elif prev is not value and prev != value:
+                    return False
+            writes.append((attr, unique))
+
+        # Apply.  The precheck proved no effect can fail, so the
+        # column-major order is observationally identical to the scalar
+        # row-major order.  ``attributes_set`` still counts every row —
+        # the scalar path counts its duplicate writes too.
+        attributes_set = 0
+        for (attr, unique), (_, _, column) in zip(writes, assignments):
+            for pending, value in unique:
+                pending.attributes[attr] = value
+                pending.provenance[attr] = label
+            attributes_set += len(column)
+        for pendings, attr, column in insertions:
+            elements_of: Dict[int, Set[Value]] = {}
+            elements_get = elements_of.get
+            for pending, value in zip(pendings, column):
+                elements = elements_get(id(pending))
+                if elements is None:
+                    elements = pending.set_attributes.get(attr)
+                    if elements is None:
+                        elements = set()
+                        pending.set_attributes[attr] = elements
+                    elements_of[id(pending)] = elements
+                elements.add(value)
+            attributes_set += len(column)
+        self.stats.attributes_set += attributes_set
+        return True
 
     def _pool_snapshot(self) -> Tuple[int, int, int, int]:
         pool = self._matcher.pool
@@ -348,6 +759,8 @@ class Executor:
                     f"object {oid} belongs to no target class")
             pending = _PendingObject(oid.class_name, oid)
             self._pending[oid] = pending
+            self._pending_classes[oid.class_name] = (
+                self._pending_classes.get(oid.class_name, 0) + 1)
             self.stats.objects_created += 1
         return pending
 
@@ -639,14 +1052,19 @@ def execute(program: Program, source: Instance,
             target_schema: Schema, validate: bool = True,
             defaults: Optional[Mapping[Tuple[str, str], Value]] = None,
             use_planner: bool = False,
-            plan: Optional[ProgramPlan] = None
+            plan: Optional[ProgramPlan] = None,
+            columnar: bool = True
             ) -> Tuple[Instance, ExecutionStats]:
     """Run a normal-form program and return (target instance, stats).
 
     ``use_planner`` (or an explicit precomputed ``plan``) switches body
-    evaluation to the planned path; the result is identical either way.
+    evaluation to the planned path; ``columnar`` (on by default, only
+    effective on planned runs) executes each planned clause as batch
+    stages over whole binding columns.  The result is identical on
+    every path.
     """
-    executor = Executor(source, target_schema, use_planner=use_planner)
+    executor = Executor(source, target_schema, use_planner=use_planner,
+                        columnar=columnar)
     executor.run_program(program, plan=plan)
     return (executor.freeze(validate=validate, defaults=defaults),
             executor.stats)

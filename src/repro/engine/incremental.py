@@ -308,8 +308,8 @@ def changed_attributes(delta: "Delta", old_instance: Instance
 
 def seeded_solutions(matcher: Matcher, seeds: Sequence[DeltaSeed],
                      seed_oids: Mapping[str, Sequence[Oid]],
-                     counters: Optional["IncrementalStats"] = None
-                     ) -> Optional[List[Binding]]:
+                     counters: Optional["IncrementalStats"] = None,
+                     columnar: bool = True) -> Optional[List[Binding]]:
     """All clause-body solutions binding a member atom to a seed oid.
 
     Each member atom is seeded independently with the seed oids of its
@@ -317,6 +317,12 @@ def seeded_solutions(matcher: Matcher, seeds: Sequence[DeltaSeed],
     two seeds is found twice but reported once).  Returns ``None`` when
     a member atom with seed oids has no seeded plan — the clause cannot
     be delta-joined exactly and the caller must recompute it fully.
+
+    With ``columnar`` the whole seed vector of each member atom runs as
+    one batch through the vectorized stage compiler
+    (:func:`repro.engine.columnar.seeded_batch_columnar`); rows stay
+    grouped by seed oid in seed order, so the deduplication sees
+    bindings in exactly the scalar order and the result is identical.
     """
     relevant = [(seed, tuple(seed_oids.get(seed.class_name, ())))
                 for seed in seeds]
@@ -329,15 +335,22 @@ def seeded_solutions(matcher: Matcher, seeds: Sequence[DeltaSeed],
             continue
         if seed.plan is None:
             return None
-        for oid in oids:
-            if counters is not None:
-                counters.seeds_probed += 1
-            for binding in matcher.run_plan_trusted(seed.plan.steps,
-                                                    {seed.variable: oid}):
-                key = frozenset(binding.items())
-                if key not in keys:
-                    keys.add(key)
-                    bindings.append(binding)
+        if counters is not None:
+            counters.seeds_probed += len(oids)
+        if columnar:
+            from .columnar import seeded_batch_columnar
+            solutions = seeded_batch_columnar(
+                matcher, seed.plan.steps, seed.variable, oids, counters)
+        else:
+            solutions = (
+                binding for oid in oids
+                for binding in matcher.run_plan_trusted(
+                    seed.plan.steps, {seed.variable: oid}))
+        for binding in solutions:
+            key = frozenset(binding.items())
+            if key not in keys:
+                keys.add(key)
+                bindings.append(binding)
     return bindings
 
 
@@ -400,6 +413,13 @@ class IncrementalStats:
     violations_added: int = 0
     violations_removed: int = 0
     violations_rechecked: int = 0
+    # Vectorized-execution counters (same meaning as on
+    # ExecutionStats: batch stages run, scalar fallback steps, total
+    # rows through batch stages, widest batch seen).
+    vectorized_steps: int = 0
+    fallback_steps: int = 0
+    vectorized_rows: int = 0
+    max_batch_rows: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -490,12 +510,13 @@ class IncrementalTransform:
     def __init__(self, program: Iterable[Clause], source: Instance,
                  target_schema,
                  defaults: Optional[Mapping[Tuple[str, str], Value]] = None,
-                 validate: bool = True) -> None:
+                 validate: bool = True, columnar: bool = True) -> None:
         self.clauses: List[Clause] = list(program)
         self.source = source
         self.target_schema = target_schema
         self.defaults = dict(defaults or {})
         self.validate = validate
+        self.columnar = columnar
         self._poisoned: Optional[str] = None
 
         source_classes = set(source.schema.class_names())
@@ -554,7 +575,12 @@ class IncrementalTransform:
         label = clause.name or str(clause)
         join_plan = self.plan.plan_for(clause)
         if join_plan is not None:
-            bindings = matcher.run_plan(join_plan.steps)
+            if self.columnar:
+                from .columnar import stream_plan_columnar
+                bindings = stream_plan_columnar(
+                    matcher, join_plan.steps, None, self.stats)
+            else:
+                bindings = matcher.run_plan(join_plan.steps)
         else:
             bindings = matcher.solutions(clause.body)
         for binding in bindings:
@@ -667,7 +693,8 @@ class IncrementalTransform:
             bindings = seeded_solutions(
                 matcher_old, self._seeds[index],
                 self._clause_seeds(index, all_changed, changes,
-                                   self.source_rev, cache_old), stats)
+                                   self.source_rev, cache_old), stats,
+                columnar=self.columnar)
             if bindings is None:
                 fallback.add(index)
                 continue
@@ -711,7 +738,8 @@ class IncrementalTransform:
             bindings = seeded_solutions(
                 matcher_new, self._seeds[index],
                 self._clause_seeds(index, all_changed, changes,
-                                   self.source_rev, cache_new), stats)
+                                   self.source_rev, cache_new), stats,
+                columnar=self.columnar)
             if bindings is None:
                 fallback.add(index)
                 continue
@@ -850,9 +878,11 @@ class IncrementalAudit:
     """
 
     def __init__(self, instance: Instance,
-                 constraints: Iterable[Clause]) -> None:
+                 constraints: Iterable[Clause],
+                 columnar: bool = True) -> None:
         self.instance = instance
         self.constraints: List[Clause] = list(constraints)
+        self.columnar = columnar
         self.plan: AuditPlan = plan_audit(self.constraints, instance)
         cardinalities = instance.class_sizes()
         self._seeds = [plan_delta_seeds(clause, cardinalities)
@@ -884,7 +914,7 @@ class IncrementalAudit:
         for index, clause in enumerate(self.constraints):
             found = clause_violations(
                 instance, clause, limit=None, matcher=matcher,
-                plan=self.plan.plan_for(clause))
+                plan=self.plan.plan_for(clause), columnar=columnar)
             self._violations.append({
                 frozenset(violation.binding.items()): violation
                 for violation in found})
@@ -955,7 +985,8 @@ class IncrementalAudit:
             bindings = seeded_solutions(
                 matcher_old, self._seeds[index],
                 _pruned_seed_groups(self._reads[index], all_changed,
-                                    changes, rev, cache_old), stats)
+                                    changes, rev, cache_old), stats,
+                columnar=self.columnar)
             if bindings is None:
                 full_recheck.add(index)
                 continue
@@ -993,14 +1024,16 @@ class IncrementalAudit:
                 bindings = seeded_solutions(
                     matcher_new, self._seeds[index],
                     _pruned_seed_groups(self._reads[index], all_changed,
-                                        changes, rev, cache_new), stats)
+                                        changes, rev, cache_new), stats,
+                    columnar=self.columnar)
                 if bindings is None:
                     full_recheck.add(index)
             if index in full_recheck:
                 stats.clauses_recomputed += 1
                 found = clause_violations(
                     new_instance, clause, limit=None, matcher=matcher_new,
-                    plan=self.plan.plan_for(clause))
+                    plan=self.plan.plan_for(clause),
+                    columnar=self.columnar)
                 fresh = {frozenset(violation.binding.items()): violation
                          for violation in found}
                 for key, violation in fresh.items():

@@ -80,13 +80,22 @@ class JoinPlan:
         return self.clause.name or str(self.clause)
 
     def explain(self) -> str:
-        """A stable, human-readable rendering of the plan."""
+        """A stable, human-readable rendering of the plan.
+
+        Each step is tagged ``[vec]`` or ``[fallback]`` by the static
+        vectorizability rule (:func:`repro.engine.columnar.
+        step_vectorizable`) — the same predicate the columnar compiler
+        applies, so the rendering predicts exactly which steps run as
+        batch stages and which drop to row-at-a-time enumeration.
+        """
+        from .columnar import step_vectorizable
         lines = [
             f"plan {self.label}: {len(self.steps)} steps, "
             f"{self.atoms_reordered} reordered, "
             f"est. cost {self.estimated_cost:g}"
         ]
         for position, step in enumerate(self.steps):
+            tag = " [vec]" if step_vectorizable(step) else " [fallback]"
             note = ""
             if step.mode == STEP_MEMBER_INDEX:
                 path = ".".join(step.selector_path or ())
@@ -95,7 +104,7 @@ class JoinPlan:
             elif step.mode == STEP_MEMBER_SCAN:
                 note = f"  [scan {step.atom.class_name}]"
             lines.append(
-                f"  {position + 1}. {step.mode:<12} {step.atom}{note}")
+                f"  {position + 1}. {step.mode:<12} {step.atom}{tag}{note}")
         return "\n".join(lines)
 
 

@@ -68,6 +68,26 @@ class Oid:
             raise ValueError_(
                 "an Oid needs exactly one of a key or a serial number")
 
+    def __hash__(self) -> int:
+        # Oids are dict keys everywhere (instances, indexes, pending
+        # stores, intern tables) and keyed identities hash a whole key
+        # record each time — cache the hash on first use.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.class_name, self.key, self.serial))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self):
+        # str hashes are salted per process: never ship a cached hash
+        # across a pickle boundary (the parallel engine does).  The
+        # cached rendering is dropped too — it is pure payload.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_str", None)
+        return state
+
     @staticmethod
     def fresh(class_name: str) -> "Oid":
         """Create a new anonymous object identity of ``class_name``."""
@@ -78,14 +98,37 @@ class Oid:
         """Create (or re-create) the identity determined by ``key``."""
         return Oid(class_name, key=key)
 
+    @staticmethod
+    def keyed_unchecked(class_name: str, key: "Value") -> "Oid":
+        """:meth:`keyed` without the one-of-key-or-serial validation.
+
+        The vectorized executor mints keyed identities in bulk; the
+        shape is fixed at compile time, so the per-instance check is
+        dead weight.  ``key`` must not be None.
+        """
+        oid = object.__new__(Oid)
+        fields = oid.__dict__
+        fields["class_name"] = class_name
+        fields["key"] = key
+        fields["serial"] = None
+        return oid
+
     @property
     def is_keyed(self) -> bool:
         return self.key is not None
 
     def __str__(self) -> str:
-        if self.is_keyed:
-            return f"&{self.class_name}[{format_value(self.key)}]"
-        return f"&{self.class_name}#{self.serial}"
+        # The deterministic collection order sorts by textual form, so
+        # set-heavy workloads render each oid many times — cache it.
+        try:
+            return self._str  # type: ignore[attr-defined]
+        except AttributeError:
+            if self.is_keyed:
+                text = f"&{self.class_name}[{format_value(self.key)}]"
+            else:
+                text = f"&{self.class_name}#{self.serial}"
+            object.__setattr__(self, "_str", text)
+            return text
 
 
 @dataclass(frozen=True)
@@ -108,9 +151,39 @@ class Record:
         object.__setattr__(self, "fields", canonical)
         object.__setattr__(self, "_index", dict(canonical))
 
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(self.fields)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)  # per-process str-hash salt
+        state.pop("_str", None)
+        return state
+
     @staticmethod
     def of(**fields: "Value") -> "Record":
         return Record(tuple(fields.items()))
+
+    @staticmethod
+    def presorted(fields: Tuple[Tuple[str, "Value"], ...]) -> "Record":
+        """Construct from fields already sorted by distinct labels.
+
+        The vectorized executor builds key records in bulk with a
+        label layout fixed at compile time; this skips the per-row
+        re-validation and re-sort of ``__post_init__``.  Callers must
+        guarantee sortedness and distinctness — an unsorted layout
+        would break record equality.
+        """
+        record = object.__new__(Record)
+        state = record.__dict__
+        state["fields"] = fields
+        state["_index"] = dict(fields)
+        return record
 
     def labels(self) -> Tuple[str, ...]:
         return tuple(label for label, _ in self.fields)
@@ -131,9 +204,15 @@ class Record:
         return Record(tuple(updated.items()))
 
     def __str__(self) -> str:
-        inner = ", ".join(
-            f"{label} = {format_value(value)}" for label, value in self.fields)
-        return f"({inner})"
+        try:
+            return self._str  # type: ignore[attr-defined]
+        except AttributeError:
+            inner = ", ".join(
+                f"{label} = {format_value(value)}"
+                for label, value in self.fields)
+            text = f"({inner})"
+            object.__setattr__(self, "_str", text)
+            return text
 
 
 @dataclass(frozen=True)

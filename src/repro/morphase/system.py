@@ -187,7 +187,8 @@ class Morphase:
     # ------------------------------------------------------------------
     def check_source(self, source: Instance,
                      use_planner: bool = True,
-                     parallel: Optional[int] = None) -> List[Violation]:
+                     parallel: Optional[int] = None,
+                     columnar: bool = True) -> List[Violation]:
         """Audit the merged source instance against source constraints.
 
         Includes schema-level key specifications: a key violation is
@@ -202,7 +203,8 @@ class Morphase:
         normalized = self.compile()
         violations = list(program_violations(
             source, normalized.source_constraints, limit_per_clause=5,
-            use_planner=use_planner, parallel=parallel))
+            use_planner=use_planner, parallel=parallel,
+            columnar=columnar))
         if self.source_keys is not None:
             for bad in key_violations(source, self.source_keys):
                 violations.append(Violation(_key_violation_clause(bad), {}))
@@ -235,7 +237,8 @@ class Morphase:
                   backend: str = "direct",
                   defaults=None,
                   use_planner: bool = True,
-                  parallel: Optional[int] = None) -> MorphaseResult:
+                  parallel: Optional[int] = None,
+                  columnar: bool = True) -> MorphaseResult:
         """Run the compiled program over the source instance(s).
 
         ``backend`` is ``"direct"`` (the one-pass executor) or ``"cpl"``
@@ -289,7 +292,7 @@ class Morphase:
                 target, stats = execute_parallel(
                     normalized.program(), merged, self.target_plain,
                     parallel, validate=validate, defaults=defaults,
-                    plan=program_plan)
+                    plan=program_plan, columnar=columnar)
                 return MorphaseResult(target=target,
                                       normalized=normalized,
                                       stats=stats,
@@ -299,7 +302,8 @@ class Morphase:
                 program_plan = plan_program(normalized.program(), merged)
             target, stats = execute(normalized.program(), merged,
                                     self.target_plain, validate=validate,
-                                    defaults=defaults, plan=program_plan)
+                                    defaults=defaults, plan=program_plan,
+                                    columnar=columnar)
             cpl_source = None
         elif backend == "cpl":
             if defaults:
@@ -329,7 +333,7 @@ class Morphase:
     # ------------------------------------------------------------------
     def begin_incremental(self, sources: Union[Instance,
                                                Sequence[Instance]],
-                          defaults=None):
+                          defaults=None, columnar: bool = True):
         """Start an incremental transformation session.
 
         Runs the compiled program once (planned, recording per-clause
@@ -344,7 +348,8 @@ class Morphase:
         merged = self._merge_sources(sources)
         normalized = self.compile()
         return IncrementalTransform(normalized.program(), merged,
-                                    self.target_plain, defaults=defaults)
+                                    self.target_plain, defaults=defaults,
+                                    columnar=columnar)
 
     def apply_delta(self, state, delta):
         """Advance an incremental session by one source delta.
@@ -360,7 +365,8 @@ class Morphase:
 
     def begin_incremental_audit(self, sources: Union[Instance,
                                                      Sequence[Instance]],
-                                constraints=None):
+                                constraints=None,
+                                columnar: bool = True):
         """Start an incremental source-constraint audit session.
 
         Audits the merged source against ``constraints`` (default: the
@@ -373,7 +379,7 @@ class Morphase:
         merged = self._merge_sources(sources)
         if constraints is None:
             constraints = list(self.compile().source_constraints)
-        return IncrementalAudit(merged, constraints)
+        return IncrementalAudit(merged, constraints, columnar=columnar)
 
     def audit_delta(self, state, delta):
         """Advance an incremental audit session by one source delta.
@@ -439,7 +445,8 @@ class Morphase:
     def audit(self, sources: Union[Instance, Sequence[Instance]],
               target: Instance,
               use_planner: bool = True,
-              parallel: Optional[int] = None) -> List[Violation]:
+              parallel: Optional[int] = None,
+              columnar: bool = True) -> List[Violation]:
         """Check the original program (transformations + constraints)
         against source and target together — the definition of a
         Tr-transformation (Section 3.2).
@@ -458,7 +465,8 @@ class Morphase:
         return list(program_violations(combined, self.program,
                                        limit_per_clause=5,
                                        use_planner=use_planner,
-                                       parallel=parallel))
+                                       parallel=parallel,
+                                       columnar=columnar))
 
 
 def _key_violation_clause(violation) -> Clause:

@@ -27,6 +27,7 @@ from ..lang.ast import (Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         Term, Var, VariantTerm)
 from ..model.instance import Instance
 from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
+from .columns import ColumnStore, deterministic_order
 from .eval import Binding, EvalError, evaluate, is_evaluable, project
 
 
@@ -71,6 +72,24 @@ class IndexPool:
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        # Columnar arrays over the same instance, shared like the
+        # indexes themselves (built lazily, patched by rebase).
+        self._column_store: Optional[ColumnStore] = None
+
+    def columns(self) -> ColumnStore:
+        """The shared :class:`ColumnStore` over the pool's instance."""
+        store = self._column_store
+        if store is None or store.instance is not self.instance:
+            store = ColumnStore(self.instance)
+            self._column_store = store
+        return store
+
+    def __getstate__(self):
+        # Columnar arrays rebuild lazily and cheaply; shipping them to
+        # worker processes would double every envelope.
+        state = dict(self.__dict__)
+        state["_column_store"] = None
+        return state
 
     def index_for(self, class_name: str, path: Tuple[str, ...]
                   ) -> Dict[Value, Tuple[Oid, ...]]:
@@ -223,6 +242,16 @@ class IndexPool:
             maintained += 1
         for key in dropped:
             del self._indexes[key]
+        store = self._column_store
+        if store is not None:
+            # Columns depend only on each object's *own* stored value,
+            # so the strict per-class edit sets patch extents exactly;
+            # without them, drop the touched classes for lazy rebuild.
+            if strict_removed is not None and strict_added is not None:
+                store.patch(new_instance, strict_removed, strict_added)
+            else:
+                store.refresh(new_instance,
+                              set(removed) | set(added))
         self.instance = new_instance
         return maintained, len(dropped)
 
@@ -475,6 +504,26 @@ class Matcher:
         # CRC) is computed once per matcher, not clauses x shards
         # times.  The raw hash is cached (shard-count independent).
         self._shard_hashes: Dict[Oid, int] = {}
+        # Private columnar arrays, used only when the pool tracks a
+        # different instance than this matcher (see :meth:`columns`).
+        self._own_columns: Optional[ColumnStore] = None
+
+    def columns(self) -> ColumnStore:
+        """Columnar arrays over this matcher's instance.
+
+        Shared through the pool whenever the pool tracks the same
+        instance (the planned/incremental configuration, where
+        ``rebase`` keeps the arrays patched); otherwise a matcher-
+        private store is built lazily.
+        """
+        pool = self.pool
+        if pool.instance is self.instance:
+            return pool.columns()
+        store = self._own_columns
+        if store is None or store.instance is not self.instance:
+            store = ColumnStore(self.instance)
+            self._own_columns = store
+        return store
 
     # ------------------------------------------------------------------
     def solutions(self, atoms: Sequence[Atom],
@@ -758,6 +807,28 @@ class Matcher:
                 "solutions() for the dynamic fallback)")
         yield from self._run_steps(steps, 0, dict(initial or {}))
 
+    def run_plan_columnar(self, steps: Sequence[PlanStep],
+                          initial: Optional[Binding] = None,
+                          stats=None) -> Iterator[Binding]:
+        """Execute a plan batch-at-a-time (the vectorized hot path).
+
+        Same contract and same binding sequence as :meth:`run_plan` —
+        the plan runs over whole candidate columns instead of one
+        binding dict at a time, falling back per-step to the scalar
+        path for steps the vectorizer cannot compile (see
+        :func:`repro.engine.columnar.step_vectorizable`).  ``stats``
+        optionally collects vectorized/fallback step and batch-size
+        counters (``ExecutionStats``/``IncrementalStats`` shape).
+        """
+        steps = tuple(steps)
+        if _plan_conflicts_with(steps, initial):
+            raise MatchError(
+                "plan boundness assumptions do not match the initial "
+                "binding (re-plan with matching initial_bound, or use "
+                "solutions() for the dynamic fallback)")
+        from ..engine.columnar import stream_plan_columnar
+        return stream_plan_columnar(self, steps, initial, stats)
+
     def run_plan_trusted(self, steps: Tuple[PlanStep, ...],
                          initial: Binding) -> Iterator[Binding]:
         """Execute a plan whose boundness the caller already verified.
@@ -924,7 +995,7 @@ def _plan_conflicts_with(steps: Sequence[PlanStep],
 
 
 def _deterministic(collection) -> List[Value]:
-    """Iterate a collection in a deterministic order."""
-    if isinstance(collection, WolList):
-        return list(collection)
-    return sorted(collection, key=str)
+    """Iterate a collection in a deterministic order (the single
+    definition lives in :mod:`repro.semantics.columns` so pre-sorted
+    set columns and the scalar path can never diverge)."""
+    return deterministic_order(collection)

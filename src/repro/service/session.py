@@ -288,6 +288,13 @@ class WarehouseSession:
                 "rebuild_ms": round(counters.rebuild_ms, 3),
                 "replayed_on_open": counters.replayed_on_open,
                 "spent": self._failure,
+                # Vectorization counters of the most recent delta
+                # propagation (zeros before the first ingest or with
+                # columnar execution disabled).
+                "vectorized_steps": self.transform.stats.vectorized_steps,
+                "fallback_steps": self.transform.stats.fallback_steps,
+                "vectorized_rows": self.transform.stats.vectorized_rows,
+                "max_batch_rows": self.transform.stats.max_batch_rows,
                 "store": self.store.stats(),
             }
 

@@ -1,12 +1,12 @@
 """Cross-engine differential fuzzing (the parallel PR's safety net).
 
-Five semantically-equivalent execution paths now coexist: the naive
-dynamic matcher, the planned path, the CPL translation, the incremental
-delta engine and the parallel sharded engine.  This suite generates
-random schemas (attribute width varies), instances and deltas with
-Hypothesis and holds every pair of engines to *byte-equal* serialised
-targets and *equal* violation sets — the strongest oracle the JSON
-interchange format supports.
+Six semantically-equivalent execution paths now coexist: the naive
+dynamic matcher, the planned path (scalar and columnar), the CPL
+translation, the incremental delta engine and the parallel sharded
+engine.  This suite generates random schemas (attribute width varies),
+instances and deltas with Hypothesis and holds every pair of engines to
+*byte-equal* serialised targets and *equal* violation sets — the
+strongest oracle the JSON interchange format supports.
 
 All generated source objects are Skolem-keyed, so serialisations are
 stable across runs and processes (anonymous oids would embed unstable
@@ -178,17 +178,20 @@ class TestTransformEngines:
     def test_naive_planned_parallel_cpl_byte_equal(self, universe):
         width, source, _ = universe
         morphase = build_morphase(width)
-        planned = morphase.transform(source).target
+        columnar = morphase.transform(source).target
+        scalar = morphase.transform(source, columnar=False).target
         naive = morphase.transform(source, use_planner=False).target
         cpl = morphase.transform(source, backend="cpl").target
-        baseline = serialized(planned)
+        baseline = serialized(columnar)
+        assert serialized(scalar) == baseline
         assert serialized(naive) == baseline
         assert serialized(cpl) == baseline
-        for workers in (2, 5):
+        for workers, columnar_flag in ((2, True), (5, False)):
             parallel, stats = execute_parallel(
                 morphase.compile().program(),
                 morphase._merge_sources(source),
-                morphase.target_plain, workers, use_processes=False)
+                morphase.target_plain, workers, use_processes=False,
+                columnar=columnar_flag)
             assert serialized(parallel) == baseline
             assert stats.shards_run == workers
 
@@ -199,10 +202,13 @@ class TestTransformEngines:
         morphase = build_morphase(width)
         state = morphase.begin_incremental(source)
         result = morphase.apply_delta(state, delta)
+        scalar_state = morphase.begin_incremental(source, columnar=False)
+        scalar_result = morphase.apply_delta(scalar_state, delta)
         updated_source = delta.apply_to(
             morphase._merge_sources(source))
         recomputed = morphase.transform(updated_source).target
         assert serialized(result.target) == serialized(recomputed)
+        assert serialized(scalar_result.target) == serialized(recomputed)
         parallel, _ = execute_parallel(
             morphase.compile().program(), updated_source,
             morphase.target_plain, 3, use_processes=False)
@@ -217,6 +223,62 @@ class TestTransformEngines:
         sequential = morphase.transform(source).target
         parallel = morphase.transform(source, parallel=2).target
         assert serialized(parallel) == serialized(sequential)
+
+
+# ----------------------------------------------------------------------
+# Columnar vs scalar on a mixed vectorizable/fallback program
+# ----------------------------------------------------------------------
+
+MIXED_SRC_TEXT = """
+schema MSrc {
+  class C = (name: str, pt: (x: int, y: int));
+}
+"""
+
+MIXED_TGT_TEXT = """
+schema MTgt {
+  class CT = (name: str, x: int, y: int) key name;
+}
+"""
+
+#: The record-pattern equation ``(x = X, y = Y) = C.pt`` needs
+#: per-candidate unification, so its plan step is a scalar fallback
+#: sandwiched between vectorizable stages — the batch must survive the
+#: round-trip through row-at-a-time enumeration.
+MIXED_PROGRAM_TEXT = """
+transformation TC:
+  Z in CT, Z.name = M, Z.x = X, Z.y = Y
+  <= C in C, M = C.name, (x = X, y = Y) = C.pt;
+"""
+
+
+class TestMixedVectorizability:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(-9, 9), st.integers(-9, 9)),
+                    min_size=1, max_size=8))
+    def test_fallback_steps_preserve_byte_equality(self, points):
+        schema = parse_schema(MIXED_SRC_TEXT)
+        builder = InstanceBuilder(schema)
+        for index, (x, y) in enumerate(points):
+            builder.make("C", f"c{index}", Record.of(
+                name=f"c{index}", pt=Record.of(x=x, y=y)))
+        source = builder.freeze()
+        morphase = Morphase([schema], parse_schema(MIXED_TGT_TEXT),
+                            MIXED_PROGRAM_TEXT)
+        columnar = morphase.transform(source)
+        scalar = morphase.transform(source, columnar=False)
+        assert serialized(columnar.target) == serialized(scalar.target)
+        # The clause genuinely mixes modes: batches formed AND the
+        # pattern equation fell back to the row-at-a-time path.
+        assert columnar.stats.vectorized_steps > 0
+        assert columnar.stats.fallback_steps > 0
+        assert scalar.stats.vectorized_steps == 0
+        # Effect counts agree — fallback re-entry neither duplicates
+        # nor drops work.
+        assert (columnar.stats.objects_created
+                == scalar.stats.objects_created)
+        assert (columnar.stats.attributes_set
+                == scalar.stats.attributes_set)
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +309,10 @@ class TestAuditEngines:
             target, constraints, limit_per_clause=None,
             use_planner=False))
         assert naive == planned
+        scalar = sorted(str(v) for v in program_violations(
+            target, constraints, limit_per_clause=None,
+            columnar=False))
+        assert scalar == planned
         result = audit_parallel(constraints, target, 3,
                                 use_processes=False)
         parallel = sorted(str(v)
