@@ -1,0 +1,162 @@
+"""S2: warm query programs vs cold per-statement batch queries.
+
+The ``/program`` endpoint's reason to exist: one POST carries a whole
+multi-statement program, and the warm session runs it on the cached
+target with the shared, prebuilt index pool and columnar plans —
+versus a cold client that issues each WOL query separately against a
+fresh dynamic matcher and folds the set algebra itself.
+
+* ``warm_program_vs_cold_statements``: p50 wall time of POST /program
+  (6-statement program, genome default size, through the real HTTP
+  front end) vs the cold per-statement oracle (fresh ``Query.run`` per
+  query statement + Python set algebra).  The two must agree
+  byte-for-byte — this benchmark is also a differential test — and the
+  warm path must clear the floor.
+"""
+
+import json
+import statistics
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection
+
+from conftest import print_table
+
+from repro.adapters.acedb import AceDatabase, schema_of_acedb
+from repro.io.json_io import dump_oid_encoder, value_to_json
+from repro.morphase import Morphase
+from repro.query.query import Query
+from repro.service import make_server
+from repro.workloads import genome
+
+#: Genome workload default size (matches bench_service/bench_planner).
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
+#: Acceptance floor: warm POST /program vs cold per-statement oracle
+#: (observed ~1.9x locally; conservative for CI boxes).
+SPEEDUP_FLOOR = 1.3
+
+WARM_REQUESTS = 30
+COLD_REQUESTS = 5
+
+#: The benchmark program: three WOL joins folded by three set ops.
+PROGRAM_TEXT = """program bench;
+
+cloned = query { N | C in CloneT, S = C.seq, N = S.name };
+genic = query { N | P in SeqGene, S = P.seq, N = S.name };
+named = query { N | S in SequenceT, N = S.name };
+core = intersect cloned, genic;
+rest = difference named, core;
+all = union core, rest;
+"""
+
+QUERY_BODIES = {
+    "cloned": "N | C in CloneT, S = C.seq, N = S.name",
+    "genic": "N | P in SeqGene, S = P.seq, N = S.name",
+    "named": "N | S in SequenceT, N = S.name",
+}
+
+
+def make_service():
+    source_schema = schema_of_acedb(
+        AceDatabase("ACe22", genome.ACE_CLASSES))
+    morphase = Morphase([source_schema], genome.warehouse_schema(),
+                        genome.PROGRAM_TEXT)
+    morphase.compile()
+    merged = morphase._merge_sources(genome.source_instance(
+        genome.generate_acedb(**GENOME_SIZE)))
+    store = morphase.open_store(tempfile.mkdtemp(), merged)
+    session = morphase.serve(store)
+    server = make_server(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return session, server
+
+
+def post_program(conn):
+    body = json.dumps({"text": PROGRAM_TEXT})
+    conn.request("POST", "/program", body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    payload = response.read()
+    assert response.status == 200, payload
+    return json.loads(payload)["result"]
+
+
+def cold_oracle(target):
+    """What a stateless client does: one fresh dynamic-matcher query
+    per statement, then set algebra over the canonical row keys."""
+    encoder = dump_oid_encoder(target)
+    classes = target.schema.class_names()
+    sets = {}
+    for name, body in QUERY_BODIES.items():
+        keyed = {}
+        for row in Query.parse(body, classes=classes).run(target):
+            encoded = {col: value_to_json(value, encoder)
+                       for col, value in row.items()}
+            keyed.setdefault(json.dumps(encoded, sort_keys=True),
+                             encoded)
+        sets[name] = keyed
+    core = {k: sets["cloned"][k]
+            for k in sets["cloned"] if k in sets["genic"]}
+    rest = {k: sets["named"][k] for k in sets["named"] if k not in core}
+    merged = dict(core)
+    merged.update(rest)
+    return [merged[key] for key in sorted(merged)]
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       max(0, int(len(ordered) * fraction) - 1))]
+
+
+def test_warm_program_vs_cold_statements(bench_report):
+    session, server = make_service()
+    try:
+        conn = HTTPConnection(*server.server_address[:2])
+        warm = []
+        document = None
+        for _ in range(WARM_REQUESTS):
+            start = time.perf_counter()
+            document = post_program(conn)
+            warm.append((time.perf_counter() - start) * 1000)
+        conn.close()
+
+        cold = []
+        oracle = None
+        for _ in range(COLD_REQUESTS):
+            start = time.perf_counter()
+            oracle = cold_oracle(session.target)
+            cold.append((time.perf_counter() - start) * 1000)
+    finally:
+        server.shutdown()
+        server.server_close()
+        session.close()
+
+    # Differential: the served program IS the cold per-statement fold.
+    assert json.dumps(document["rows"], sort_keys=True) \
+        == json.dumps(oracle, sort_keys=True)
+
+    warm_p50 = statistics.median(warm)
+    cold_p50 = statistics.median(cold)
+    speedup = cold_p50 / warm_p50
+    print_table(
+        "S2: 6-statement program, warm POST /program vs cold statements",
+        ("mode", "p50 ms", "p99 ms"),
+        [("warm POST /program", f"{warm_p50:.2f}",
+          f"{percentile(warm, 0.99):.2f}"),
+         ("cold per-statement oracle", f"{cold_p50:.2f}",
+          f"{percentile(cold, 0.99):.2f}"),
+         ("speedup", f"{speedup:.1f}x", "")])
+    bench_report.record(
+        "warm_program_vs_cold_statements_genome_default",
+        speedup=round(speedup, 2), floor=SPEEDUP_FLOOR,
+        warm_p50_ms=round(warm_p50, 3),
+        warm_p99_ms=round(percentile(warm, 0.99), 3),
+        cold_p50_ms=round(cold_p50, 3),
+        statements=6, query_statements=len(QUERY_BODIES),
+        result_rows=len(document["rows"]),
+        requests=WARM_REQUESTS)
+    assert speedup >= SPEEDUP_FLOOR

@@ -76,8 +76,23 @@ def main() -> int:
           f"batch of {result['batch_size']}, "
           f"{result['violations']} violation(s)")
 
-    countries = client.query("CountryT")
+    countries = client.extent("CountryT")
     print(f"  target CountryT now has {countries['count']} objects")
+
+    # Conjunctive queries and whole programs run against the same warm
+    # session (planned + columnar, shared index pool).
+    euros = client.query("X in CountryT, N = X.name, C = X.currency",
+                         project=["N", "C"])
+    print(f"  /query?body= returned {euros['count']} "
+          f"(country, currency) rows")
+    outcome = client.program(text="""
+        caps  = query { N | C in CountryT, X = C.capital, N = X.name };
+        alln  = query { N | X in CityT, N = X.name };
+        rest  = difference alln, caps;
+    """)
+    print(f"  /program: "
+          + ", ".join(f"{t['name']}={t['rows']}"
+                      for t in outcome['statements']))
 
     # 4. Differential guarantee: served target == cold batch transform.
     cold = morphase.transform(store.instance).target

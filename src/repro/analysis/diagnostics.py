@@ -36,7 +36,9 @@ class CodeInfo:
 
 #: The full diagnostic vocabulary, grouped by pass (1xx safety &
 #: boundness, 2xx dead/unsatisfiable clauses, 3xx clause interference,
-#: 4xx schema/key lint).  WOL100 is the analyzer's own entry gate.
+#: 4xx schema/key lint, 5xx query-program validation —
+#: :mod:`repro.program.validate`).  WOL100 is the analyzer's own entry
+#: gate.
 CODES: Dict[str, CodeInfo] = {info.code: info for info in (
     CodeInfo("WOL100", SEVERITY_ERROR, "parse error",
              "the program text is not syntactically valid WOL"),
@@ -88,6 +90,34 @@ CODES: Dict[str, CodeInfo] = {info.code: info for info in (
     CodeInfo("WOL403", SEVERITY_WARNING, "dangling Skolem argument",
              "a named Skolem-term argument labels no attribute of its "
              "class"),
+    CodeInfo("WOL500", SEVERITY_ERROR, "program parse error",
+             "the query program (text DSL or JSON AST) is not "
+             "syntactically well-formed"),
+    CodeInfo("WOL501", SEVERITY_ERROR, "program bounds violated",
+             "the program is empty, exceeds the statement limit, or "
+             "names a statement with a non-identifier"),
+    CodeInfo("WOL502", SEVERITY_ERROR, "duplicate statement name",
+             "two statements bind the same name; results would be "
+             "ambiguous"),
+    CodeInfo("WOL503", SEVERITY_ERROR, "undefined statement reference",
+             "an operator input names no *earlier* statement (forward "
+             "and self references are rejected — the language has no "
+             "recursion)"),
+    CodeInfo("WOL504", SEVERITY_ERROR, "invalid query body",
+             "a query statement's WOL body does not parse, is not "
+             "range-restricted, or projects a variable the body never "
+             "binds"),
+    CodeInfo("WOL505", SEVERITY_ERROR, "set-operation column mismatch",
+             "the inputs of a union/intersect/difference produce "
+             "different column sets; row equality would be undefined"),
+    CodeInfo("WOL506", SEVERITY_ERROR, "unknown projection column",
+             "a project operator selects a column its input does not "
+             "produce"),
+    CodeInfo("WOL507", SEVERITY_ERROR, "invalid limit",
+             "a limit operator's row count is negative"),
+    CodeInfo("WOL508", SEVERITY_WARNING, "unused statement",
+             "the statement's result set feeds no later statement and "
+             "is not the program result; it only burns execution time"),
 )}
 
 

@@ -58,6 +58,18 @@ Subcommands::
         started from, the WAL records applied, whether a torn final
         record was dropped, and the recovered class sizes.
 
+    python -m repro program  program.qp --data target.json [--json] \\
+                             [--ast] [--explain] [--no-columnar] \\
+                             [--shards N] | --url http://host:port
+        Parse, validate and run a query program (the composable
+        query DSL of :mod:`repro.program`) — named statements mixing
+        WOL conjunctive bodies with set algebra over earlier results.
+        ``--data`` runs locally against instance JSON; ``--url`` posts
+        the program to a running service's ``POST /program``.
+        ``--ast`` prints the canonical JSON AST without executing;
+        ``--explain`` adds per-statement plans.  Validation failures
+        print the WOL5xx diagnostics and exit 1; parse errors exit 2.
+
     python -m repro lint     --source us.schema [--target target.schema] \\
                              program.wol [--json] [--fail-on SEVERITY]
         Statically analyze a WOL program: safety/boundness, dead and
@@ -326,6 +338,98 @@ def _cmd_lint(args) -> int:
     return 1 if report.at_or_above(args.fail_on) else 0
 
 
+def _cmd_program(args) -> int:
+    from .program import (ProgramParseError, ProgramValidationError,
+                          compile_program, parse_program_text,
+                          run_compiled)
+    text = _load_program_text(args.program)
+    try:
+        program = parse_program_text(text)
+    except ProgramParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.ast:
+        # Canonical field order (version, name, statements) — not
+        # alphabetised: this *is* the wire format.
+        print(json.dumps(program.to_json(), indent=2))
+        return 0
+
+    if args.url:
+        from .service.client import (ServiceClient, ServiceParseError,
+                                     ServiceValidationError)
+        client = ServiceClient(args.url)
+        try:
+            result = client.program(text=text,
+                                    columnar=not args.no_columnar,
+                                    explain=args.explain)
+        except ServiceValidationError as exc:
+            _print_program_diagnostics(exc.diagnostics, args.program)
+            return 1
+        except ServiceParseError as exc:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 2
+    else:
+        if not args.data:
+            print("error: pass --data (local instances) or --url "
+                  "(running service)", file=sys.stderr)
+            return 2
+        instances = [load_instance(path) for path in args.data]
+        merged = (instances[0] if len(instances) == 1
+                  else merge_instances("__program__", instances))
+        try:
+            compiled = compile_program(program, merged)
+        except ProgramValidationError as exc:
+            _print_program_diagnostics(exc.report.to_json(),
+                                       args.program)
+            return 1
+        outcome = run_compiled(compiled, merged,
+                               columnar=not args.no_columnar,
+                               shards=args.shards)
+        result = outcome.to_json()
+        if args.explain:
+            result["explain"] = compiled.explain()
+
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    label = result.get("program") or args.program
+    statements = result.get("statements", [])
+    print(f"program {label}: {len(statements)} statement(s)")
+    for trace in statements:
+        notes = ""
+        if trace.get("op") == "query":
+            mode = "planned" if trace.get("planned") else "dynamic"
+            vec = ", columnar" if trace.get("columnar") else ""
+            notes = f"  [{mode}{vec}]"
+        print(f"  {trace['name']:<12} {trace['op']:<10} "
+              f"{trace['rows']} row(s){notes}")
+    columns = result.get("columns", [])
+    rows = result.get("rows", [])
+    print(f"result {result.get('result')}: {len(rows)} row(s) "
+          f"over ({', '.join(columns)})")
+    for row in rows:
+        cells = ", ".join(f"{name}={json.dumps(row[name])}"
+                          for name in columns if name in row)
+        print(f"  {cells}")
+    if args.explain and "explain" in result:
+        print(result["explain"])
+    return 0
+
+
+def _print_program_diagnostics(report_json, source_name: str) -> None:
+    if not report_json:
+        print("error: program failed validation", file=sys.stderr)
+        return
+    counts = report_json.get("counts", {})
+    print(f"{source_name}: program failed validation "
+          f"({counts.get('error', '?')} error(s))", file=sys.stderr)
+    for diagnostic in report_json.get("diagnostics", []):
+        where = diagnostic.get("clause", "<program>")
+        print(f"  {diagnostic.get('severity', ''):<7} "
+              f"{diagnostic.get('code', '')}  {where}: "
+              f"{diagnostic.get('message', '')}", file=sys.stderr)
+
+
 def _cmd_plan(args) -> int:
     morphase = _build_morphase(args)
     instances = [load_instance(path) for path in args.data]
@@ -346,8 +450,9 @@ def _cmd_serve(args) -> int:
     stats = store.stats()
     print(f"store: {args.store} (seq {stats['seq']}, "
           f"{stats['wal_records']} WAL record(s) replayed)")
-    print(f"serving on {server.url} — POST /ingest, GET /query, "
-          f"GET /check, POST /snapshot, POST /lint, GET /stats")
+    print(f"serving on {server.url} — POST /ingest, POST /program, "
+          f"GET /query, GET /check, POST /snapshot, POST /lint, "
+          f"GET /stats")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
@@ -453,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="statically analyze a WOL program "
                                  "(safety, dead clauses, interference, "
                                  "schema/key lint)")
+    program_p = sub.add_parser("program",
+                               help="run a composable query program "
+                                    "(WOL bodies + set algebra) locally "
+                                    "or against a running service")
 
     for p in (compile_p, transform_p, plan_p, delta_p, serve_p):
         p.add_argument("--source", action="append", required=True,
@@ -558,6 +667,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 when a diagnostic at or above this "
                              "severity is found (default: error)")
 
+    program_p.add_argument("program",
+                           help="query-program file (text DSL)")
+    program_p.add_argument("--data", action="append",
+                           help="instance JSON to query (repeatable; "
+                                "local mode)")
+    program_p.add_argument("--url",
+                           help="base URL of a running service; posts "
+                                "the program to POST /program instead "
+                                "of running locally")
+    program_p.add_argument("--json", action="store_true",
+                           help="emit the result document as JSON")
+    program_p.add_argument("--ast", action="store_true",
+                           help="print the canonical JSON AST and exit "
+                                "(no execution)")
+    program_p.add_argument("--explain", action="store_true",
+                           help="include per-statement execution plans")
+    program_p.add_argument("--no-columnar", action="store_true",
+                           help="disable vectorized (columnar) "
+                                "execution of planned query statements")
+    program_p.add_argument("--shards", type=int, default=1, metavar="N",
+                           help="run shardable query statements as N "
+                                "sequential shards (local mode; results "
+                                "are byte-identical to --shards 1)")
+
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)
     check_p.set_defaults(func=_cmd_check)
@@ -567,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot_p.set_defaults(func=_cmd_snapshot)
     replay_p.set_defaults(func=_cmd_replay)
     lint_p.set_defaults(func=_cmd_lint)
+    program_p.set_defaults(func=_cmd_program)
     return parser
 
 

@@ -157,11 +157,14 @@ def schema_from_json(data: Dict[str, Any]):
 # Instances
 # ----------------------------------------------------------------------
 
-def instance_to_json(instance: Instance) -> Dict[str, Any]:
-    """Encode an instance (schema embedded).
+def dump_oid_encoder(instance: Instance):
+    """The ``oid_encoder`` used by dumps: stable per-dump labels.
 
-    Anonymous oids get stable per-dump labels (``Class#n`` by sorted
-    order) so dumps are deterministic and references stay consistent.
+    Keyed oids encode as their key; anonymous oids get ``Class#n``
+    labels by sorted extent order — the exact addressing
+    :func:`instance_to_json` emits, exposed so other serialisers
+    (query rows over the service, program result sets) name the same
+    object the same way as a dump of the same instance.
     """
     labels: Dict[Oid, Any] = {}
     for cname in instance.schema.class_names():
@@ -177,6 +180,17 @@ def instance_to_json(instance: Instance) -> Dict[str, Any]:
         if entry is None:
             raise JsonIoError(f"dangling reference {oid}")
         return {"$oid": oid.class_name, **entry}
+
+    return encode_oid
+
+
+def instance_to_json(instance: Instance) -> Dict[str, Any]:
+    """Encode an instance (schema embedded).
+
+    Anonymous oids get stable per-dump labels (``Class#n`` by sorted
+    order) so dumps are deterministic and references stay consistent.
+    """
+    encode_oid = dump_oid_encoder(instance)
 
     def encode(value: Value) -> Any:
         if isinstance(value, Oid):

@@ -1,0 +1,239 @@
+"""Executing compiled query programs.
+
+Execution materialises, per statement, a :class:`ResultSet`: a
+duplicate-free set of rows in *canonical order*.  Rows are JSON-encoded
+at the engine boundary (``value_to_json`` with the instance's dump
+oid-encoder, so anonymous objects carry the same ``Class#n`` labels a
+dump of the instance would) and ordered by their sorted-key JSON
+rendering.  That single definition buys three guarantees at once:
+
+* set algebra (``union``/``intersect``/``difference``) is well-defined
+  — row equality is JSON equality;
+* ``limit`` is deterministic — "first N" of a canonical order;
+* sharded execution is byte-identical to sequential — a shard
+  partitions the row set, and dedup-then-sort erases enumeration order.
+
+``query`` statements run the planned path (vectorized columnar batches
+by default, scalar :meth:`~repro.semantics.match.Matcher.run_plan`
+otherwise), optionally sharded via
+:func:`~repro.engine.planner.shard_join_plan`; bodies with no static
+plan fall back to the dynamic matcher.  Set-algebra statements never
+touch the instance — they fold earlier result sets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..engine.planner import shard_join_plan
+from ..io.json_io import dump_oid_encoder, value_to_json
+from ..model.instance import Instance
+from ..semantics.match import Matcher
+from .ast import (DifferenceOp, IntersectOp, LimitOp, ProgramError,
+                  ProjectOp, QueryOp, QueryProgram, UnionOp)
+from .compile import CompiledProgram, CompiledStatement, compile_program
+
+Row = Dict[str, Any]
+
+
+def _row_key(row: Row) -> str:
+    return json.dumps(row, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """A statement's materialised result: canonical-order row set.
+
+    ``rows`` are JSON-compatible dicts, duplicate-free, sorted by their
+    ``json.dumps(..., sort_keys=True)`` rendering.
+    """
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Row, ...]
+
+    @staticmethod
+    def from_rows(columns: Tuple[str, ...],
+                  rows: Iterator[Row]) -> "ResultSet":
+        """Dedup + canonically order an arbitrary row enumeration."""
+        by_key: Dict[str, Row] = {}
+        for row in rows:
+            by_key.setdefault(_row_key(row), row)
+        ordered = tuple(by_key[key] for key in sorted(by_key))
+        return ResultSet(columns=columns, rows=ordered)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(_row_key(row) for row in self.rows)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"columns": list(self.columns),
+                "rows": [dict(row) for row in self.rows]}
+
+
+@dataclass(frozen=True)
+class StatementTrace:
+    """Per-statement execution record (the service's response detail)."""
+
+    name: str
+    op: str
+    rows: int
+    planned: bool = False
+    columnar: bool = False
+    shards: int = 1
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "op": self.op,
+                               "rows": self.rows}
+        if self.op == "query":
+            out["planned"] = self.planned
+            out["columnar"] = self.columnar
+            out["shards"] = self.shards
+        return out
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """The whole run: every statement's size, the result statement's rows."""
+
+    program: QueryProgram
+    result: ResultSet
+    traces: Tuple[StatementTrace, ...]
+    sets: Dict[str, ResultSet] = field(default_factory=dict, compare=False)
+
+    def to_json(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {}
+        if self.program.name is not None:
+            document["program"] = self.program.name
+        document["result"] = self.program.result_name
+        document["columns"] = list(self.result.columns)
+        document["rows"] = [dict(row) for row in self.result.rows]
+        document["statements"] = [t.to_json() for t in self.traces]
+        return document
+
+
+def run_compiled(compiled: CompiledProgram, instance: Instance,
+                 columnar: bool = True, shards: int = 1,
+                 oid_encoder=None) -> ProgramResult:
+    """Run a compiled program against ``instance``.
+
+    ``instance`` must be the instance the program was compiled against
+    (the pool's indexes address its oids).  ``shards`` > 1 partitions
+    each shardable plan's driving generator and runs the shards
+    sequentially — the differential tests use it to pin sharded ==
+    sequential; the service keeps it at 1.
+    """
+    if shards < 1:
+        raise ProgramError(f"shard count must be >= 1, got {shards}")
+    encoder = oid_encoder if oid_encoder is not None \
+        else dump_oid_encoder(instance)
+    matcher = Matcher(instance, index_pool=compiled.pool)
+
+    sets: Dict[str, ResultSet] = {}
+    traces: List[StatementTrace] = []
+    for statement in compiled.statements:
+        op = statement.statement.op
+        if isinstance(op, QueryOp):
+            result, trace = _run_query(statement, matcher, encoder,
+                                       columnar, shards)
+        else:
+            result = _run_algebra(op, statement.columns, sets)
+            trace = StatementTrace(name=statement.statement.name,
+                                   op=op.op, rows=len(result.rows))
+        sets[statement.statement.name] = result
+        traces.append(trace)
+
+    result_name = compiled.program.result_name
+    final = sets[result_name] if result_name is not None \
+        else ResultSet(columns=(), rows=())
+    return ProgramResult(program=compiled.program, result=final,
+                         traces=tuple(traces), sets=sets)
+
+
+def run_program(program: QueryProgram, instance: Instance,
+                pool=None, columnar: bool = True, shards: int = 1,
+                oid_encoder=None) -> ProgramResult:
+    """Compile and run in one call (validation errors raise)."""
+    compiled = compile_program(program, instance, pool=pool)
+    return run_compiled(compiled, instance, columnar=columnar,
+                        shards=shards, oid_encoder=oid_encoder)
+
+
+# ----------------------------------------------------------------------
+# Statement execution
+# ----------------------------------------------------------------------
+
+def _run_query(statement: CompiledStatement, matcher: Matcher,
+               encoder, columnar: bool, shards: int
+               ) -> Tuple[ResultSet, StatementTrace]:
+    query = statement.query
+    assert query is not None
+    columns = statement.columns
+    plan = statement.plan
+
+    def bindings() -> Iterator[Dict[str, Any]]:
+        if plan is None:
+            yield from matcher.solutions(query.body)
+        elif shards > 1:
+            shard_plans = [shard_join_plan(plan, i, shards)
+                           for i in range(shards)]
+            if any(sp is None for sp in shard_plans):
+                yield from _run_steps(matcher, plan.steps, columnar)
+            else:
+                for shard_plan in shard_plans:
+                    yield from _run_steps(matcher, shard_plan.steps,
+                                          columnar)
+        else:
+            yield from _run_steps(matcher, plan.steps, columnar)
+
+    def rows() -> Iterator[Row]:
+        for binding in bindings():
+            yield {name: value_to_json(binding[name], encoder)
+                   for name in columns if name in binding}
+
+    result = ResultSet.from_rows(columns, rows())
+    trace = StatementTrace(
+        name=statement.statement.name, op="query",
+        rows=len(result.rows), planned=plan is not None,
+        columnar=columnar and plan is not None,
+        shards=shards if plan is not None else 1)
+    return result, trace
+
+
+def _run_steps(matcher: Matcher, steps, columnar: bool):
+    if columnar:
+        return matcher.run_plan_columnar(steps)
+    return matcher.run_plan(steps)
+
+
+def _run_algebra(op, columns: Tuple[str, ...],
+                 sets: Dict[str, ResultSet]) -> ResultSet:
+    """Fold earlier result sets; all inputs exist (validation ensures)."""
+    if isinstance(op, UnionOp):
+        def union_rows() -> Iterator[Row]:
+            for source in op.sources:
+                yield from sets[source].rows
+        return ResultSet.from_rows(columns, union_rows())
+    if isinstance(op, IntersectOp):
+        key_sets = [set(sets[source].keys()) for source in op.sources]
+        shared = set.intersection(*key_sets) if key_sets else set()
+        first = sets[op.sources[0]]
+        return ResultSet.from_rows(
+            columns, (row for row in first.rows
+                      if _row_key(row) in shared))
+    if isinstance(op, DifferenceOp):
+        right = set(sets[op.right].keys())
+        return ResultSet.from_rows(
+            columns, (row for row in sets[op.left].rows
+                      if _row_key(row) not in right))
+    if isinstance(op, ProjectOp):
+        source = sets[op.source]
+        return ResultSet.from_rows(
+            columns, ({name: row[name] for name in op.columns
+                       if name in row}
+                      for row in source.rows))
+    if isinstance(op, LimitOp):
+        source = sets[op.source]
+        return ResultSet(columns=columns,
+                         rows=source.rows[:op.count])
+    raise ProgramError(f"unhandled operator {op!r}")  # pragma: no cover

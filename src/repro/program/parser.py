@@ -1,0 +1,214 @@
+"""The text DSL of query programs — a serialisation of the JSON AST.
+
+Concrete syntax (statements end with ``;``, comments run from ``--`` or
+``#`` to end of line)::
+
+    program capitals;                          -- optional header
+
+    caps  = query { N | X in CityE, X.is_capital = true, N = X.name };
+    all   = query { N | X in CityE, N = X.name };
+    other = difference all, caps;
+    both  = union caps, other;
+    top   = limit both 10;
+    names = project both -> N;
+
+The ``query`` operator's braces carry exactly the text
+:meth:`repro.query.Query.parse` accepts — an optional projection list
+before ``|``, then a WOL atom list — so the query sub-language is the
+clause-body language of the paper, unchanged.  Braces nest (WOL set
+patterns may contain ``{}``); the parser scans to the balancing brace.
+
+:func:`parse_program_text` and :func:`format_program` round-trip:
+``parse_program_text(format_program(p)) == p`` for every program ``p``,
+and formatting a parsed text yields the canonical rendering of its AST.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import (DifferenceOp, IntersectOp, LimitOp, Op, ProgramParseError,
+                  ProjectOp, QueryOp, QueryProgram, Statement, UnionOp,
+                  is_statement_name)
+
+_COMMENT = re.compile(r"(--|#)[^\n]*")
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_INT = re.compile(r"-?[0-9]+")
+
+
+class _Scanner:
+    """A cursor over the program text with WOL-style comment skipping."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+                continue
+            match = _COMMENT.match(self.text, self.pos)
+            if match:
+                self.pos = match.end()
+                continue
+            break
+
+    def at_end(self) -> bool:
+        self.skip_space()
+        return self.pos >= len(self.text)
+
+    def error(self, message: str) -> ProgramParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return ProgramParseError(f"line {line}: {message}")
+
+    def take_name(self, what: str) -> str:
+        self.skip_space()
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise self.error(f"expected {what}")
+        self.pos = match.end()
+        return match.group()
+
+    def take_int(self) -> int:
+        self.skip_space()
+        match = _INT.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected an integer")
+        self.pos = match.end()
+        return int(match.group())
+
+    def take(self, literal: str) -> None:
+        self.skip_space()
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def try_take(self, literal: str) -> bool:
+        self.skip_space()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def take_braced(self) -> str:
+        """The text between a balanced ``{`` ... ``}`` pair."""
+        self.take("{")
+        depth = 1
+        start = self.pos
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    body = self.text[start:self.pos]
+                    self.pos += 1
+                    return body.strip()
+            self.pos += 1
+        raise self.error("unterminated '{' in query operator")
+
+    def take_name_list(self) -> Tuple[str, ...]:
+        names = [self.take_name("a statement name")]
+        while self.try_take(","):
+            names.append(self.take_name("a statement name"))
+        return tuple(names)
+
+
+def parse_program_text(text: str) -> QueryProgram:
+    """Parse the text DSL into its :class:`QueryProgram` AST."""
+    scanner = _Scanner(text)
+    name = None
+    statements: List[Statement] = []
+    first = True
+    while not scanner.at_end():
+        word = scanner.take_name("a statement name (or 'program')")
+        scanner.skip_space()
+        if first and word == "program" \
+                and not scanner.text.startswith("=", scanner.pos):
+            name = scanner.take_name("a program name")
+            scanner.take(";")
+            first = False
+            continue
+        first = False
+        scanner.take("=")
+        statements.append(Statement(name=word, op=_parse_op(scanner)))
+        scanner.take(";")
+    return QueryProgram(statements=tuple(statements), name=name)
+
+
+def _parse_op(scanner: _Scanner) -> Op:
+    operator = scanner.take_name("an operator")
+    if operator == "query":
+        body_text = scanner.take_braced()
+        project: Tuple[str, ...] = ()
+        if "|" in body_text:
+            head, _, body = body_text.partition("|")
+            names = tuple(part.strip() for part in head.split(",")
+                          if part.strip())
+            if names != ("*",):
+                if not all(is_statement_name(part) for part in names):
+                    raise scanner.error(
+                        f"bad projection list {head.strip()!r}")
+                project = names
+            body_text = body.strip()
+        return QueryOp(body=body_text, project=project)
+    if operator == "union":
+        return UnionOp(sources=scanner.take_name_list())
+    if operator == "intersect":
+        return IntersectOp(sources=scanner.take_name_list())
+    if operator == "difference":
+        sources = scanner.take_name_list()
+        if len(sources) != 2:
+            raise scanner.error(
+                f"'difference' takes exactly two inputs, got "
+                f"{len(sources)}")
+        return DifferenceOp(left=sources[0], right=sources[1])
+    if operator == "project":
+        source = scanner.take_name("a statement name")
+        scanner.take("->")
+        return ProjectOp(source=source,
+                         columns=scanner.take_name_list())
+    if operator == "limit":
+        source = scanner.take_name("a statement name")
+        return LimitOp(source=source, count=scanner.take_int())
+    raise scanner.error(
+        f"unknown operator {operator!r} (one of: query, union, "
+        f"intersect, difference, project, limit)")
+
+
+def format_statement(statement: Statement) -> str:
+    """The canonical text rendering of one statement (no terminator)."""
+    op = statement.op
+    if isinstance(op, QueryOp):
+        if op.project:
+            inner = f"{', '.join(op.project)} | {op.body}"
+        else:
+            inner = op.body
+        rendered = f"query {{ {inner} }}"
+    elif isinstance(op, UnionOp):
+        rendered = f"union {', '.join(op.sources)}"
+    elif isinstance(op, IntersectOp):
+        rendered = f"intersect {', '.join(op.sources)}"
+    elif isinstance(op, DifferenceOp):
+        rendered = f"difference {op.left}, {op.right}"
+    elif isinstance(op, ProjectOp):
+        rendered = f"project {op.source} -> {', '.join(op.columns)}"
+    elif isinstance(op, LimitOp):
+        rendered = f"limit {op.source} {op.count}"
+    else:  # pragma: no cover - exhaustive over Op
+        raise ProgramParseError(f"cannot format operator {op!r}")
+    return f"{statement.name} = {rendered};"
+
+
+def format_program(program: QueryProgram) -> str:
+    """The canonical text DSL rendering of a program AST."""
+    lines: List[str] = []
+    if program.name is not None:
+        lines.append(f"program {program.name};")
+        lines.append("")
+    lines.extend(format_statement(s) for s in program.statements)
+    return "\n".join(lines) + ("\n" if lines else "")

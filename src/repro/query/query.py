@@ -99,6 +99,38 @@ class Query:
             yield {name: binding[name] for name in columns
                    if name in binding}
 
+    def run_planned(self, instance: Instance, pool=None,
+                    columnar: bool = True) -> Iterator[Row]:
+        """Result rows via the static planner (the service hot path).
+
+        Plans the body once (:func:`repro.engine.planner.plan_clause`),
+        prebuilds the plan's indexes on ``pool`` (a warm session passes
+        its shared :class:`~repro.semantics.match.IndexPool`; by
+        default a private one is built) and executes vectorized
+        (:meth:`~repro.semantics.match.Matcher.run_plan_columnar`) or
+        scalar.  Bodies the planner cannot order statically fall back
+        to the dynamic matcher — identical rows, no speedup.
+        """
+        from ..engine.planner import PlanError, plan_clause
+        from ..semantics.match import IndexPool
+        if pool is None:
+            pool = IndexPool(instance)
+        matcher = Matcher(instance, index_pool=pool)
+        columns = self.projection or self.variables()
+        probe = Clause(self.body, self.body)
+        try:
+            plan = plan_clause(probe, instance.class_sizes())
+        except PlanError:
+            bindings: Iterator[Dict[str, Value]] = \
+                matcher.solutions(self.body)
+        else:
+            pool.prebuild(plan.index_paths)
+            bindings = (matcher.run_plan_columnar(plan.steps)
+                        if columnar else matcher.run_plan(plan.steps))
+        for binding in bindings:
+            yield {name: binding[name] for name in columns
+                   if name in binding}
+
     def rows(self, instance: Instance) -> List[Row]:
         """All result rows as a list."""
         return list(self.run(instance))

@@ -13,12 +13,16 @@ into single incremental applications.
 
 from .locks import ReadWriteLock
 from .session import IngestResult, ServiceError, WarehouseSession
-from .server import ServiceServer, make_server
-from .client import ServiceClient, ServiceClientError
+from .server import (API_VERSION, ServiceServer, envelope_error,
+                     envelope_ok, make_server)
+from .client import (ServiceClient, ServiceClientError, ServiceParseError,
+                     ServiceValidationError)
 
 __all__ = [
     "ReadWriteLock",
     "IngestResult", "ServiceError", "WarehouseSession",
-    "ServiceServer", "make_server",
-    "ServiceClient", "ServiceClientError",
+    "API_VERSION", "ServiceServer", "make_server",
+    "envelope_ok", "envelope_error",
+    "ServiceClient", "ServiceClientError", "ServiceParseError",
+    "ServiceValidationError",
 ]

@@ -3,25 +3,80 @@
 Used by the tests, the benchmarks and ``examples/service_demo.py`` —
 and small enough to copy into any consumer that cannot add
 dependencies either.
+
+Every server response is the versioned envelope
+(:data:`repro.service.server.API_VERSION`); the client unwraps it, so
+methods return the bare ``result`` document and failures raise typed
+errors carrying the envelope's machine-readable ``code``:
+
+* :class:`ServiceParseError` — ``parse_error`` (HTTP 400): the
+  request, query body or program never parsed;
+* :class:`ServiceValidationError` — ``validation_failed`` (HTTP 422):
+  it parsed but static validation rejected it (WOL5xx diagnostics in
+  ``details``);
+* :class:`ServiceClientError` — everything else (``bad_request``,
+  ``not_found``, ``session_spent``, ``internal_error``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 from urllib import request as urlrequest
 from urllib.error import HTTPError
 from urllib.parse import quote
 
 
 class ServiceClientError(Exception):
-    """A non-2xx service response, carrying the decoded error body."""
+    """A non-2xx service response, decoded from the error envelope.
+
+    ``code``/``message``/``details`` mirror the envelope's ``error``
+    object; ``document`` keeps the whole response body for callers
+    that need the raw form.
+    """
 
     def __init__(self, status: int, document: Dict[str, Any]) -> None:
-        super().__init__(f"HTTP {status}: "
-                         f"{document.get('error', document)}")
+        error = document.get("error")
+        if isinstance(error, dict):
+            self.code: str = error.get("code", "internal_error")
+            self.message: str = error.get("message", str(error))
+            self.details: Optional[Dict[str, Any]] = error.get("details")
+        else:  # not an envelope (proxy error, pre-envelope server)
+            self.code = "internal_error"
+            self.message = str(error if error is not None else document)
+            self.details = None
+        super().__init__(f"HTTP {status} [{self.code}]: {self.message}")
         self.status = status
         self.document = document
+
+
+class ServiceParseError(ServiceClientError):
+    """The request or program was not syntactically well-formed (400)."""
+
+
+class ServiceValidationError(ServiceClientError):
+    """The input parsed but failed static validation (422).
+
+    ``diagnostics`` is the WOL5xx report JSON when the server attached
+    one.
+    """
+
+    @property
+    def diagnostics(self) -> Optional[Dict[str, Any]]:
+        if self.details is None:
+            return None
+        return self.details.get("diagnostics")
+
+
+def _typed_error(status: int,
+                 document: Dict[str, Any]) -> ServiceClientError:
+    error = document.get("error")
+    code = error.get("code") if isinstance(error, dict) else None
+    if code == "parse_error":
+        return ServiceParseError(status, document)
+    if code == "validation_failed":
+        return ServiceValidationError(status, document)
+    return ServiceClientError(status, document)
 
 
 class ServiceClient:
@@ -33,7 +88,7 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+              body: Optional[Dict[str, Any]] = None) -> Any:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         req = urlrequest.Request(
@@ -42,13 +97,17 @@ class ServiceClient:
             if data is not None else {})
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                document = json.loads(resp.read().decode("utf-8"))
         except HTTPError as exc:
             try:
                 document = json.loads(exc.read().decode("utf-8"))
             except ValueError:
-                document = {"error": str(exc)}
-            raise ServiceClientError(exc.code, document) from exc
+                document = {"error": {"code": "internal_error",
+                                      "message": str(exc)}}
+            raise _typed_error(exc.code, document) from exc
+        if isinstance(document, dict) and "result" in document:
+            return document["result"]
+        return document
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -60,16 +119,62 @@ class ServiceClient:
     def target(self) -> Dict[str, Any]:
         return self._call("GET", "/target")
 
-    def query(self, class_name: str) -> Dict[str, Any]:
+    def query(self, body: str,
+              project: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Run a conjunctive WOL query against the warm target.
+
+        ``body`` is a WOL atom list (the text after ``|`` in
+        :meth:`repro.query.Query.parse`); ``project`` optionally names
+        the output columns.  Returns ``{"columns", "count", "rows"}``
+        with rows duplicate-free in canonical order.
+
+        This replaces the old ``query(class_name)`` extent dump, which
+        lives on as :meth:`extent`.
+        """
+        path = f"/query?body={quote(body)}"
+        if project:
+            path += f"&project={quote(','.join(project))}"
+        return self._call("GET", path)
+
+    def extent(self, class_name: str) -> Dict[str, Any]:
+        """One target class extent (dump-labelled entries).
+
+        .. deprecated:: the ``/query?class=`` form predates the
+           conjunctive query API; prefer ``query(body="X in C")`` or
+           :meth:`target` for full dumps.  Kept because extent dumps
+           stay the cheapest way to page one class.
+        """
         return self._call("GET", f"/query?class={quote(class_name)}")
 
+    def program(self, text: Optional[str] = None,
+                ast: Optional[Dict[str, Any]] = None,
+                columnar: bool = True,
+                explain: bool = False) -> Dict[str, Any]:
+        """Compile and run a query program on the warm session.
+
+        Pass exactly one of ``text`` (the DSL source) or ``ast`` (the
+        canonical JSON AST, :meth:`repro.program.QueryProgram.to_json`).
+        Returns the program result document (``result`` statement name,
+        ``columns``, ``rows``, per-statement ``statements`` traces,
+        optional ``explain``).  Parse failures raise
+        :class:`ServiceParseError`; validation failures raise
+        :class:`ServiceValidationError` with the WOL5xx diagnostics.
+        """
+        if (text is None) == (ast is None):
+            raise ValueError("pass exactly one of text= or ast=")
+        body: Dict[str, Any] = {}
+        if text is not None:
+            body["text"] = text
+        else:
+            body["ast"] = ast
+        if not columnar:
+            body["columnar"] = False
+        if explain:
+            body["explain"] = True
+        return self._call("POST", "/program", body=body)
+
     def check(self) -> Dict[str, Any]:
-        try:
-            return self._call("GET", "/check")
-        except ServiceClientError as exc:
-            if exc.status == 409:  # violations present is a report,
-                return exc.document  # not a transport failure
-            raise
+        return self._call("GET", "/check")
 
     def ingest(self, delta_document: Dict[str, Any]) -> Dict[str, Any]:
         return self._call("POST", "/ingest", body=delta_document)
@@ -77,17 +182,12 @@ class ServiceClient:
     def lint(self, program: Optional[str] = None) -> Dict[str, Any]:
         """Lint ``program`` (or the session's own program when None).
 
-        A 400 response still carries the diagnostics report — that is
-        the "program has errors" outcome, not a transport failure.
+        Always a report — a program full of findings is a successful
+        lint (HTTP 200), not a transport failure.
         """
         body: Dict[str, Any] = (
             {} if program is None else {"program": program})
-        try:
-            return self._call("POST", "/lint", body=body)
-        except ServiceClientError as exc:
-            if exc.status == 400 and "diagnostics" in exc.document:
-                return exc.document
-            raise
+        return self._call("POST", "/lint", body=body)
 
     def snapshot(self) -> Dict[str, Any]:
         return self._call("POST", "/snapshot", body={})

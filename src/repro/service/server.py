@@ -9,18 +9,33 @@ Endpoints::
     GET  /health            liveness + current sequence number
     GET  /stats             service, batching and store statistics
     GET  /target            full target instance (JSON interchange)
-    GET  /query?class=C     one target class extent
+    GET  /query?body=B      conjunctive WOL query over the warm target
+         [&project=X,Y]     (planned + columnar; canonical row order)
+    GET  /query?class=C     one target class extent (deprecated — use
+                            ?body= or the client's ``extent()``)
     GET  /check             live source-constraint violation set
+    POST /program           body: {"text": "<DSL>"} or {"ast": {...}}
+                            -> compile + run a query program
     POST /ingest            body: delta JSON (label-addressed) -> seq
     POST /snapshot          compact the store (snapshot + WAL reset)
     POST /lint              body: {"program": "<WOL text>"} -> static
-                            analysis diagnostics (400 when the program
-                            has error-severity findings; an empty JSON
-                            object lints the session's own program)
+                            analysis diagnostics (an empty JSON object
+                            lints the session's own program)
 
-Error mapping: malformed requests and undecodable deltas are 400,
-unknown routes/classes 404, a spent session 503, anything else 500 —
-all as ``{"error": ...}`` JSON documents.
+Every response — success or failure — is the versioned envelope::
+
+    {"version": 1, "ok": true,  "result": {...}}
+    {"version": 1, "ok": false, "error": {"code": "...",
+                                          "message": "...",
+                                          "details": {...}?}}
+
+Error codes map statuses one-to-one: ``bad_request``/``parse_error``
+(400: the request or program never parsed), ``not_found`` (404),
+``validation_failed`` (422: parsed but statically rejected — WOL5xx
+diagnostics ride in ``details``), ``session_spent`` (503) and
+``internal_error`` (500).  ``/check`` and ``/lint`` always answer 200:
+a report full of findings is a successful report, not a transport
+failure.
 """
 
 from __future__ import annotations
@@ -36,6 +51,35 @@ from .session import ServiceError, WarehouseSession
 
 #: Cap on request bodies — a delta document, not a bulk load.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Version stamp of the response envelope (every endpoint, every
+#: status).
+API_VERSION = 1
+
+#: Default machine-readable error code per HTTP status; a
+#: :class:`ServiceError` with an explicit ``code`` overrides.
+CODE_FOR_STATUS = {
+    400: "bad_request",
+    404: "not_found",
+    422: "validation_failed",
+    500: "internal_error",
+    503: "session_spent",
+}
+
+
+def envelope_ok(result: Any) -> Dict[str, Any]:
+    """The success envelope around one endpoint result."""
+    return {"version": API_VERSION, "ok": True, "result": result}
+
+
+def envelope_error(code: str, message: str,
+                   details: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """The failure envelope around one error."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if details is not None:
+        error["details"] = details
+    return {"version": API_VERSION, "ok": False, "error": error}
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -91,8 +135,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str,
+               code: Optional[str] = None,
+               details: Optional[Dict[str, Any]] = None) -> None:
+        resolved = code or CODE_FOR_STATUS.get(status, "internal_error")
+        self._reply(status, envelope_error(resolved, message,
+                                           details=details))
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -110,24 +158,27 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             document = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            self._error(400, f"request body is not JSON: {exc}")
+            self._error(400, f"request body is not JSON: {exc}",
+                        code="parse_error")
             return None
         if not isinstance(document, dict):
-            self._error(400, "request body must be a JSON object")
+            self._error(400, "request body must be a JSON object",
+                        code="parse_error")
             return None
         return document
 
     def _dispatch(self, handler, *args) -> None:
         try:
-            status, document = handler(*args)
+            status, result = handler(*args)
         except (DeltaError, StoreError) as exc:
             self._error(400, str(exc))
         except ServiceError as exc:
-            self._error(exc.status, str(exc))
+            self._error(exc.status, str(exc), code=exc.code,
+                        details=exc.details)
         except Exception as exc:  # noqa: BLE001 - service boundary
             self._error(500, f"{type(exc).__name__}: {exc}")
         else:
-            self._reply(status, document)
+            self._reply(status, envelope_ok(result))
 
     # ------------------------------------------------------------------
     # Routes
@@ -142,31 +193,41 @@ class _Handler(BaseHTTPRequestHandler):
         elif parsed.path == "/target":
             self._dispatch(lambda: (200, session.target_json()))
         elif parsed.path == "/query":
-            params = parse_qs(parsed.query)
-            names = params.get("class")
-            if not names:
-                self._error(400, "query requires ?class=<TargetClass>")
-                return
-            self._dispatch(lambda: (200, session.query_json(names[0])))
+            self._query(session, parse_qs(parsed.query))
         elif parsed.path == "/check":
-            self._dispatch(lambda: self._check(session))
+            self._dispatch(lambda: (200, session.check_json()))
         else:
             self._error(404, f"no route {parsed.path}")
+
+    def _query(self, session: WarehouseSession,
+               params: Dict[str, list]) -> None:
+        bodies = params.get("body")
+        names = params.get("class")
+        if (bodies is None) == (names is None):
+            self._error(400, "query requires exactly one of "
+                             "?body=<WOL atoms> (conjunctive query) or "
+                             "?class=<TargetClass> (extent dump)")
+            return
+        if bodies is not None:
+            projects = params.get("project")
+            project = projects[0] if projects else None
+            self._dispatch(lambda: (
+                200, session.query_body_json(bodies[0],
+                                             project=project)))
+        else:
+            self._dispatch(lambda: (200, session.query_json(names[0])))
 
     @staticmethod
     def _health(session: WarehouseSession
                 ) -> Tuple[int, Dict[str, Any]]:
         spent = session.spent
-        document = {"ok": spent is None, "seq": session.store.seq}
         if spent is not None:
-            document["spent"] = spent
-        return (200 if spent is None else 503), document
-
-    @staticmethod
-    def _check(session: WarehouseSession
-               ) -> Tuple[int, Dict[str, Any]]:
-        document = session.check_json()
-        return (200 if document["ok"] else 409), document
+            raise ServiceError(
+                f"session is spent ({spent}); restart the service to "
+                f"rebuild from the store", status=503,
+                code="session_spent",
+                details={"seq": session.store.seq, "spent": spent})
+        return 200, {"seq": session.store.seq}
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
@@ -176,21 +237,20 @@ class _Handler(BaseHTTPRequestHandler):
             if document is None:
                 return
             self._dispatch(lambda: self._ingest(session, document))
+        elif parsed.path == "/program":
+            document = self._read_body()
+            if document is None:
+                return
+            self._dispatch(lambda: (200, session.program_json(document)))
         elif parsed.path == "/snapshot":
             self._dispatch(lambda: (200, session.snapshot()))
         elif parsed.path == "/lint":
             document = self._read_body()
             if document is None:
                 return
-            self._dispatch(lambda: self._lint(session, document))
+            self._dispatch(lambda: (200, session.lint_json(document)))
         else:
             self._error(404, f"no route {parsed.path}")
-
-    @staticmethod
-    def _lint(session: WarehouseSession, document: Dict[str, Any]
-              ) -> Tuple[int, Dict[str, Any]]:
-        payload = session.lint_json(document)
-        return (200 if payload["ok"] else 400), payload
 
     @staticmethod
     def _ingest(session: WarehouseSession, document: Dict[str, Any]

@@ -26,8 +26,9 @@ class TestRegistry:
 
     def test_families_cover_all_passes(self):
         families = {code[:4] + "0" for code in CODES} - {"WOL10"}
-        assert families == {"WOL20", "WOL30", "WOL40"}
+        assert families == {"WOL20", "WOL30", "WOL40", "WOL50"}
         assert "WOL100" in CODES  # the analyzer's own entry gate
+        assert "WOL500" in CODES  # the program validator's entry gate
 
     def test_severity_order(self):
         assert (SEVERITY_RANK[SEVERITY_ERROR]

@@ -241,6 +241,71 @@ def scrub_text(rendered: str, replacements) -> str:
     return rendered
 
 
+GENOME_PROGRAM_TEXT = """program golden;
+
+seqs = query { N | X in Sequence, N = X.name };
+genes = query { N | G in Gene, N = G.name };
+both = union seqs, genes;
+top = limit both 5;
+"""
+
+
+class TestProgramGoldens:
+    """``repro program`` output is API: the JSON result document and
+    the canonical AST rendering are pinned against goldens.  The genome
+    workload keys every oid, so each byte is deterministic."""
+
+    @pytest.fixture()
+    def genome_workspace(self, tmp_path):
+        from repro.workloads import genome
+        dump_instance(genome.source_instance(),
+                      str(tmp_path / "genome.json"))
+        (tmp_path / "program.qp").write_text(GENOME_PROGRAM_TEXT)
+        return tmp_path
+
+    def test_program_json_golden(self, genome_workspace, capsys):
+        w = genome_workspace
+        code = main(["program", str(w / "program.qp"),
+                     "--data", str(w / "genome.json"), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rendered = json.dumps(json.loads(out), indent=2,
+                              sort_keys=True) + "\n"
+        compare_to_golden("program_genome.json", rendered)
+
+    def test_program_ast_golden(self, genome_workspace, capsys):
+        w = genome_workspace
+        code = main(["program", str(w / "program.qp"), "--ast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        compare_to_golden("program_ast_genome.json", out)
+
+    def test_program_sharded_matches_golden(self, genome_workspace,
+                                            capsys):
+        """Sharded execution must reproduce the pinned bytes."""
+        w = genome_workspace
+        code = main(["program", str(w / "program.qp"),
+                     "--data", str(w / "genome.json"), "--json",
+                     "--shards", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        with open(os.path.join(GOLDEN_DIR,
+                               "program_genome.json")) as handle:
+            golden = json.load(handle)
+        assert json.loads(out)["rows"] == golden["rows"]
+
+    def test_envelope_golden(self):
+        """The versioned service envelope is wire format — pin it."""
+        from repro.service import envelope_error, envelope_ok
+        rendered = json.dumps(
+            {"ok": envelope_ok({"answer": 42}),
+             "error": envelope_error(
+                 "validation_failed", "program failed validation",
+                 details={"diagnostics": []})},
+            indent=2, sort_keys=True) + "\n"
+        compare_to_golden("service_envelope.json", rendered)
+
+
 class TestStoreGoldens:
     def test_serve_help(self, capsys, monkeypatch):
         """The serve surface is API: flags may be added, not drifted.

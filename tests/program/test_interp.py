@@ -1,0 +1,171 @@
+"""Program execution semantics, pinned differentially.
+
+The oracle for every ``query`` statement is the batch
+:class:`repro.query.Query` API run through the *dynamic* matcher; the
+oracle for set algebra is plain Python set algebra over the oracle
+rows.  The interpreter must agree byte-for-byte — across columnar vs
+scalar execution and sharded vs sequential plans (the canonical row
+order makes those equalities exact, not just set-equal).
+"""
+
+import json
+
+import pytest
+
+from repro.io.json_io import dump_oid_encoder, value_to_json
+from repro.program import (ProgramError, compile_program,
+                           parse_program_text, run_compiled, run_program)
+from repro.query.query import Query
+from repro.workloads import cities, genome
+
+PROGRAM_TEXT = """
+caps = query { N | X in CityE, X.is_capital = true, N = X.name };
+alln = query { N | X in CityE, N = X.name };
+rest = difference alln, caps;
+both = union caps, rest;
+some = intersect alln, both;
+top = limit some 3;
+"""
+
+
+@pytest.fixture(scope="module")
+def euro():
+    return cities.sample_euro_instance()
+
+
+def oracle_rows(instance, text):
+    """Canonical row set via the *dynamic* batch Query API."""
+    encoder = dump_oid_encoder(instance)
+    query = Query.parse(text, classes=instance.schema.class_names())
+    keyed = {}
+    for row in query.run(instance):
+        encoded = {name: value_to_json(value, encoder)
+                   for name, value in row.items()}
+        keyed.setdefault(json.dumps(encoded, sort_keys=True), encoded)
+    return [keyed[key] for key in sorted(keyed)]
+
+
+class TestQueryStatements:
+    def test_single_query_matches_batch_oracle(self, euro):
+        result = run_program(
+            parse_program_text(
+                "caps = query { N | X in CityE, X.is_capital = true, "
+                "N = X.name };"),
+            euro)
+        assert list(result.result.rows) == oracle_rows(
+            euro, "N | X in CityE, X.is_capital = true, N = X.name")
+
+    def test_join_query_matches_batch_oracle(self, euro):
+        body = ("N, L | X in CityE, C = X.country, N = X.name, "
+                "L = C.language")
+        result = run_program(
+            parse_program_text(f"j = query {{ {body} }};"), euro)
+        assert result.result.columns == ("N", "L")
+        assert list(result.result.rows) == oracle_rows(euro, body)
+
+    def test_columnar_and_scalar_agree(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        vectorized = run_program(program, euro, columnar=True)
+        scalar = run_program(program, euro, columnar=False)
+        assert vectorized.result == scalar.result
+        for name in program.statement_names():
+            assert vectorized.sets[name] == scalar.sets[name]
+
+    def test_sharded_equals_sequential(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        sequential = run_program(program, euro)
+        for shards in (2, 3, 7):
+            sharded = run_program(program, euro, shards=shards)
+            assert sharded.result == sequential.result, shards
+
+    def test_invalid_shard_count_rejected(self, euro):
+        program = parse_program_text("a = query { X in CityE };")
+        with pytest.raises(ProgramError):
+            run_program(program, euro, shards=0)
+
+    def test_rows_are_duplicate_free_and_canonically_ordered(self, euro):
+        # Projecting away the distinguishing column forces duplicates
+        # at the binding level; the result set must collapse them.
+        result = run_program(
+            parse_program_text(
+                "l = query { L | C in CountryE, L = C.language };"),
+            euro)
+        keys = [json.dumps(row, sort_keys=True)
+                for row in result.result.rows]
+        assert keys == sorted(set(keys))
+
+
+class TestSetAlgebra:
+    def test_algebra_matches_python_set_oracle(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        outcome = run_program(program, euro)
+        caps = {json.dumps(r, sort_keys=True) for r in oracle_rows(
+            euro, "N | X in CityE, X.is_capital = true, N = X.name")}
+        alln = {json.dumps(r, sort_keys=True) for r in oracle_rows(
+            euro, "N | X in CityE, N = X.name")}
+        assert set(outcome.sets["rest"].keys()) == alln - caps
+        assert set(outcome.sets["both"].keys()) == caps | (alln - caps)
+        assert set(outcome.sets["some"].keys()) == alln & (caps | alln)
+        assert list(outcome.sets["top"].keys()) \
+            == list(outcome.sets["some"].keys())[:3]
+
+    def test_project_drops_columns_and_duplicates(self, euro):
+        outcome = run_program(parse_program_text(
+            "a = query { N, L | C in CountryE, N = C.name, "
+            "L = C.language };\n"
+            "b = project a -> L;"), euro)
+        expected = sorted({json.dumps({"L": row["L"]}, sort_keys=True)
+                           for row in outcome.sets["a"].rows})
+        assert list(outcome.sets["b"].keys()) == expected
+        assert outcome.sets["b"].columns == ("L",)
+
+    def test_limit_is_prefix_of_canonical_order(self, euro):
+        outcome = run_program(parse_program_text(
+            "a = query { N | X in CityE, N = X.name };\n"
+            "b = limit a 2;"), euro)
+        assert list(outcome.sets["b"].rows) \
+            == list(outcome.sets["a"].rows)[:2]
+
+    def test_limit_beyond_size_is_whole_set(self, euro):
+        outcome = run_program(parse_program_text(
+            "a = query { N | X in CityE, N = X.name };\n"
+            "b = limit a 9999;"), euro)
+        assert outcome.sets["b"].rows == outcome.sets["a"].rows
+
+
+class TestCompiledPrograms:
+    def test_shared_pool_is_reused_across_statements(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        compiled = compile_program(program, euro)
+        assert compiled.prebuilt_indexes >= 1
+        outcome = run_compiled(compiled, euro)
+        assert outcome.result.rows  # executed through the shared pool
+
+    def test_traces_expose_execution_shape(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        outcome = run_program(program, euro)
+        by_name = {trace.name: trace for trace in outcome.traces}
+        assert by_name["caps"].planned and by_name["caps"].columnar
+        assert by_name["rest"].op == "difference"
+        document = outcome.to_json()
+        assert document["result"] == "top"
+        assert [t["name"] for t in document["statements"]] \
+            == list(program.statement_names())
+
+    def test_explain_is_stable(self, euro):
+        program = parse_program_text(PROGRAM_TEXT)
+        first = compile_program(program, euro).explain()
+        second = compile_program(program, euro).explain()
+        assert first == second
+        assert "planned" in first and "difference" in first
+
+    def test_keyed_source_instance(self):
+        """Programs run over keyed instances too (genome sources)."""
+        instance = genome.source_instance()
+        body = "S | G in Sequence, S = G.name"
+        outcome = run_program(
+            parse_program_text(f"names = query {{ {body} }};\n"
+                               f"top = limit names 5;"),
+            instance)
+        assert list(outcome.sets["names"].rows) \
+            == oracle_rows(instance, body)

@@ -49,7 +49,7 @@ class TestEndpoints:
     def test_health(self, service):
         _, _, client = service
         document = client.health()
-        assert document["ok"] is True and "seq" in document
+        assert "seq" in document
 
     def test_ingest_then_query_matches_cold_batch(self, service):
         morphase, session, client = service
@@ -62,13 +62,37 @@ class TestEndpoints:
         assert json.dumps(served, sort_keys=True) \
             == json.dumps(instance_to_json(cold), sort_keys=True)
 
-    def test_query_single_class(self, service):
+    def test_extent_single_class(self, service):
         _, session, client = service
-        document = client.query("CountryT")
+        document = client.extent("CountryT")
         assert document["class"] == "CountryT"
         assert document["count"] == len(document["objects"])
         assert document["count"] \
             == len(session.target.objects_of("CountryT"))
+
+    def test_body_query_matches_batch_query(self, service):
+        _, session, client = service
+        document = client.query("X in CountryT, N = X.name",
+                                project=["N"])
+        assert document["columns"] == ["N"]
+        from repro.query.query import Query
+        target = session.target
+        oracle = sorted({row["N"] for row in Query.parse(
+            "N | X in CountryT, N = X.name",
+            classes=target.schema.class_names()).run(target)})
+        assert [row["N"] for row in document["rows"]] == oracle
+        assert document["count"] == len(oracle)
+
+    def test_every_endpoint_speaks_the_envelope(self, service):
+        import urllib.request
+        from repro.service.server import API_VERSION
+        _, _, client = service
+        for path in ("/health", "/stats", "/target",
+                     "/query?class=CountryT", "/check"):
+            with urllib.request.urlopen(client.base_url + path) as resp:
+                document = json.loads(resp.read().decode("utf-8"))
+            assert document["version"] == API_VERSION, path
+            assert document["ok"] is True and "result" in document, path
 
     def test_check_reports_ok(self, service):
         _, _, client = service
@@ -98,9 +122,10 @@ class TestErrorMapping:
     def test_unknown_class_404(self, service):
         _, _, client = service
         with pytest.raises(ServiceClientError) as info:
-            client.query("Nonsense")
+            client.extent("Nonsense")
         assert info.value.status == 404
-        assert "no class" in info.value.document["error"]
+        assert info.value.code == "not_found"
+        assert "no class" in info.value.message
 
     def test_bad_body_400(self, service):
         _, _, client = service
@@ -121,13 +146,36 @@ class TestErrorMapping:
         with pytest.raises(ServiceClientError) as info:
             client.ingest(bad)
         assert info.value.status == 400
-        assert "cannot update" in info.value.document["error"]
+        assert info.value.code == "bad_request"
+        assert "cannot update" in info.value.message
 
     def test_missing_query_parameter_400(self, service):
         _, _, client = service
         with pytest.raises(ServiceClientError) as info:
             client._call("GET", "/query")
         assert info.value.status == 400
+
+    def test_body_and_class_together_400(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client._call("GET",
+                         "/query?class=CountryT&body=X%20in%20CountryT")
+        assert info.value.status == 400 \
+            and info.value.code == "bad_request"
+
+    def test_unparsable_body_is_parse_error_400(self, service):
+        from repro.service import ServiceParseError
+        _, _, client = service
+        with pytest.raises(ServiceParseError) as info:
+            client.query("X in in in")
+        assert info.value.status == 400
+
+    def test_unsafe_body_is_validation_error_422(self, service):
+        from repro.service import ServiceValidationError
+        _, _, client = service
+        with pytest.raises(ServiceValidationError) as info:
+            client.query("N = X.name")
+        assert info.value.status == 422
 
 
 class TestConcurrency:
@@ -149,7 +197,7 @@ class TestConcurrency:
         def reader():
             try:
                 for _ in range(5):
-                    client.query("CountryT")
+                    client.extent("CountryT")
                     client.stats()
             except Exception as exc:  # pragma: no cover - fails test
                 errors.append(exc)
@@ -172,20 +220,21 @@ class TestConcurrency:
 class TestHealthAndSpentMapping:
     def test_spent_session_reports_unhealthy(self, service):
         _, session, client = service
-        assert client.health()["ok"] is True
+        assert "seq" in client.health()
         session._failure = "induced for test"
         try:
             with pytest.raises(ServiceClientError) as info:
                 client.health()
             assert info.value.status == 503
+            assert info.value.code == "session_spent"
             assert info.value.document["ok"] is False
-            assert "induced" in info.value.document["spent"]
+            assert "induced" in info.value.details["spent"]
             with pytest.raises(ServiceClientError) as info:
                 client.ingest(INSERT_DELTA)
             assert info.value.status == 503
         finally:
             session._failure = None
-        assert client.health()["ok"] is True
+        assert "seq" in client.health()
 
     def test_oversized_body_closes_connection(self, service):
         """An undrained over-limit body must not desynchronise
@@ -219,18 +268,15 @@ class TestLintEndpoint:
         assert set(document["passes"]) == {
             "safety", "deadcode", "interference", "schema"}
 
-    def test_lint_submitted_program_with_errors_is_400(self, service):
+    def test_lint_with_errors_is_still_200_report(self, service):
         _, _, client = service
-        with pytest.raises(ServiceClientError) as info:
-            ServiceClient(client.base_url)._call(
-                "POST", "/lint", body={"program": self.BAD_PROGRAM})
-        assert info.value.status == 400
-        document = info.value.document
+        document = ServiceClient(client.base_url)._call(
+            "POST", "/lint", body={"program": self.BAD_PROGRAM})
         assert document["ok"] is False
         assert any(d["code"] == "WOL102"
                    for d in document["diagnostics"])
 
-    def test_client_surfaces_400_report_as_document(self, service):
+    def test_client_surfaces_report_as_document(self, service):
         _, _, client = service
         document = client.lint(self.BAD_PROGRAM)
         assert document["ok"] is False and document["counts"]["error"] >= 1
@@ -246,4 +292,4 @@ class TestLintEndpoint:
         with pytest.raises(ServiceClientError) as info:
             client._call("POST", "/lint", body={"program": 42})
         assert info.value.status == 400
-        assert "diagnostics" not in info.value.document
+        assert info.value.code == "bad_request"
