@@ -46,7 +46,10 @@ Subcommands::
         store and serve it over HTTP: one long-lived session keeps
         the compiled plan, indexes and incremental transform/audit
         state warm; POST /ingest appends deltas to the write-ahead
-        log and group-commits them into the warm state.
+        log and group-commits them into the warm state.  With
+        ``--replica-of URL`` the node instead seeds itself from the
+        leader's snapshot, tails its /wal feed and serves reads
+        locally (writes answer 409 pointing at the leader).
 
     python -m repro snapshot --store DIR [--data us.json]
         Initialise a store from instance files (first run) or compact
@@ -441,25 +444,43 @@ def _cmd_plan(args) -> int:
 def _cmd_serve(args) -> int:
     from .service.server import make_server
     morphase = _build_morphase(args)
-    sources = ([load_instance(path) for path in args.data]
-               if args.data else None)
-    store = morphase.open_store(args.store, sources, fsync=args.fsync)
-    session = morphase.serve(store)
+    replica = None
+    if args.replica_of:
+        from .service.replica import WalReplica
+        replica = WalReplica(morphase, args.replica_of, args.store,
+                             poll_wait=args.poll_wait,
+                             fsync=args.fsync)
+        session = replica.start()
+        store = session.store
+        stats = store.stats()
+        print(f"replica store: {args.store} (seq {stats['seq']}, "
+              f"following {replica.leader_url})")
+    else:
+        sources = ([load_instance(path) for path in args.data]
+                   if args.data else None)
+        store = morphase.open_store(args.store, sources,
+                                    fsync=args.fsync)
+        session = morphase.serve(store)
+        stats = store.stats()
+        print(f"store: {args.store} (seq {stats['seq']}, "
+              f"{stats['wal_records']} WAL record(s) replayed)")
     server = make_server(session, host=args.host, port=args.port,
                          verbose=args.verbose)
-    stats = store.stats()
-    print(f"store: {args.store} (seq {stats['seq']}, "
-          f"{stats['wal_records']} WAL record(s) replayed)")
-    print(f"serving on {server.url} — POST /ingest, POST /program, "
-          f"GET /query, GET /check, POST /snapshot, POST /lint, "
-          f"GET /stats")
+    endpoints = ("GET /query, GET /check, GET /stats, GET /wal"
+                 if replica is not None else
+                 "POST /ingest, POST /program, GET /query, GET /check, "
+                 "POST /snapshot, POST /lint, GET /stats, GET /wal")
+    print(f"serving on {server.url} — {endpoints}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         print("shutting down")
     finally:
         server.server_close()
-        session.close()
+        if replica is not None:
+            replica.close()
+        else:
+            session.close()
     return 0
 
 
@@ -640,6 +661,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--fsync", action="store_true",
                          help="fsync every WAL append (durability over "
                               "ingest throughput)")
+    serve_p.add_argument("--replica-of", metavar="URL",
+                         help="run as a read replica of the leader at "
+                              "URL: seed from its snapshot, tail its "
+                              "/wal feed, serve reads locally and "
+                              "refuse writes with 409")
+    serve_p.add_argument("--poll-wait", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="replica long-poll window per /wal "
+                              "request (default 5.0)")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     snapshot_p.add_argument("--store", required=True,

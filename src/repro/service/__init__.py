@@ -9,20 +9,32 @@ state across requests; a stdlib ``ThreadingHTTPServer`` exposes
 ingest/query/check/snapshot/stats endpoints; a read-write lock lets
 queries run concurrently while delta ingestion group-commits bursts
 into single incremental applications.
+
+The service also scales reads horizontally: a leader streams its WAL
+over ``GET /wal`` (long-polled, bounded), and
+:class:`~repro.service.replica.WalReplica` runs a follower that seeds
+itself from the leader's content-addressed snapshot, replays the feed
+through its own incremental session, and serves queries locally —
+monotonic reads guaranteed by the ``X-Repro-Seq`` token the client
+echoes.
 """
 
 from .locks import ReadWriteLock
 from .session import IngestResult, ServiceError, WarehouseSession
 from .server import (API_VERSION, ServiceServer, envelope_error,
                      envelope_ok, make_server)
-from .client import (ServiceClient, ServiceClientError, ServiceParseError,
+from .client import (ServiceClient, ServiceClientError,
+                     ServiceConflictError, ServiceParseError,
                      ServiceValidationError)
+from .replica import (ReplicaError, ReplicaSession, ReplicationState,
+                      WalReplica)
 
 __all__ = [
     "ReadWriteLock",
     "IngestResult", "ServiceError", "WarehouseSession",
     "API_VERSION", "ServiceServer", "make_server",
     "envelope_ok", "envelope_error",
-    "ServiceClient", "ServiceClientError", "ServiceParseError",
-    "ServiceValidationError",
+    "ServiceClient", "ServiceClientError", "ServiceConflictError",
+    "ServiceParseError", "ServiceValidationError",
+    "ReplicaError", "ReplicaSession", "ReplicationState", "WalReplica",
 ]

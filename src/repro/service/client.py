@@ -14,17 +14,35 @@ errors carrying the envelope's machine-readable ``code``:
 * :class:`ServiceValidationError` — ``validation_failed`` (HTTP 422):
   it parsed but static validation rejected it (WOL5xx diagnostics in
   ``details``);
+* :class:`ServiceConflictError` — HTTP 409: the node's state or role
+  conflicts with the request (``replica_behind``: this replica has not
+  yet applied the sequence the client already observed;
+  ``read_only_replica``: a write was sent to a follower);
 * :class:`ServiceClientError` — everything else (``bad_request``,
   ``not_found``, ``session_spent``, ``internal_error``).
+
+The client also implements the service's **monotonic read** protocol:
+every response carries the node's applied sequence number in the
+``X-Repro-Seq`` header, the client remembers the highest value it has
+seen and echoes it on subsequent requests.  A replica that has not
+caught up to that point answers 409 ``replica_behind``, and the client
+transparently retries (bounded by ``behind_wait``) until the replica
+catches up — so reads through one client never travel backwards in
+time, even when load-balanced across followers mid-replication.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, Optional, Sequence
 from urllib import request as urlrequest
 from urllib.error import HTTPError
 from urllib.parse import quote
+
+#: Monotonic-read token header (kept literal so this module stays
+#: copy-paste standalone).
+SEQ_HEADER = "X-Repro-Seq"
 
 
 class ServiceClientError(Exception):
@@ -68,6 +86,16 @@ class ServiceValidationError(ServiceClientError):
         return self.details.get("diagnostics")
 
 
+class ServiceConflictError(ServiceClientError):
+    """The node's state or role conflicts with the request (409).
+
+    ``code`` distinguishes the cases: ``replica_behind`` (this node
+    has not applied the sequence the client observed elsewhere — the
+    client retries these itself) and ``read_only_replica`` (a write
+    reached a follower; ``details["leader"]`` names where to send it).
+    """
+
+
 def _typed_error(status: int,
                  document: Dict[str, Any]) -> ServiceClientError:
     error = document.get("error")
@@ -76,27 +104,69 @@ def _typed_error(status: int,
         return ServiceParseError(status, document)
     if code == "validation_failed":
         return ServiceValidationError(status, document)
+    if status == 409:
+        return ServiceConflictError(status, document)
     return ServiceClientError(status, document)
 
 
 class ServiceClient:
     """Talk to one running :class:`~repro.service.server.ServiceServer`."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 monotonic: bool = True,
+                 behind_wait: float = 10.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Echo the monotonic-read token on every request.  Turn off
+        #: for a client that genuinely wants whatever a replica has
+        #: (e.g. a lag probe).
+        self.monotonic = monotonic
+        #: Longest to retry a 409 ``replica_behind`` before giving up
+        #: and raising it — the bound on how stale a replica may be
+        #: before monotonic reads through this client fail instead of
+        #: waiting.
+        self.behind_wait = behind_wait
+        #: Highest applied sequence number any response has reported.
+        self.last_seq = 0
 
     # ------------------------------------------------------------------
     def _call(self, method: str, path: str,
               body: Optional[Dict[str, Any]] = None) -> Any:
+        deadline = time.monotonic() + self.behind_wait
+        while True:
+            try:
+                return self._call_once(method, path, body)
+            except ServiceConflictError as exc:
+                if (exc.code == "replica_behind" and self.monotonic
+                        and time.monotonic() < deadline):
+                    time.sleep(0.05)  # the replica is catching up
+                    continue
+                raise
+
+    def _observe(self, headers: Any) -> None:
+        """Advance the monotonic token from a response's seq header."""
+        value = headers.get(SEQ_HEADER) if headers is not None else None
+        if value is not None:
+            try:
+                self.last_seq = max(self.last_seq, int(value))
+            except ValueError:
+                pass  # a proxy mangled the header; keep our token
+
+    def _call_once(self, method: str, path: str,
+                   body: Optional[Dict[str, Any]] = None) -> Any:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
+        headers: Dict[str, str] = {}
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+        if self.monotonic and self.last_seq:
+            headers[SEQ_HEADER] = str(self.last_seq)
         req = urlrequest.Request(
             self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"}
-            if data is not None else {})
+            headers=headers)
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                self._observe(resp.headers)
                 document = json.loads(resp.read().decode("utf-8"))
         except HTTPError as exc:
             try:
@@ -191,3 +261,24 @@ class ServiceClient:
 
     def snapshot(self) -> Dict[str, Any]:
         return self._call("POST", "/snapshot", body={})
+
+    # ------------------------------------------------------------------
+    # Replication feed
+    # ------------------------------------------------------------------
+    def wal(self, from_seq: int, limit: int = 500,
+            wait: float = 0.0) -> Dict[str, Any]:
+        """Fetch WAL records starting at ``from_seq`` (the feed a
+        follower tails).
+
+        ``wait > 0`` long-polls until a record lands at ``from_seq``
+        or the window expires.  The result carries ``records``,
+        ``seq``/``base_seq``/``snapshot``, and ``reset`` — true when
+        ``from_seq`` was compacted away and the caller must reseed
+        from :meth:`snapshot_file`.
+        """
+        return self._call(
+            "GET", f"/wal?from={from_seq}&limit={limit}&wait={wait:g}")
+
+    def snapshot_file(self, name: str) -> Dict[str, Any]:
+        """Fetch one content-addressed snapshot document by name."""
+        return self._call("GET", f"/snapshot/{quote(name)}")

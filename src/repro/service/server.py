@@ -14,6 +14,13 @@ Endpoints::
     GET  /query?class=C     one target class extent (deprecated — use
                             ?body= or the client's ``extent()``)
     GET  /check             live source-constraint violation set
+    GET  /wal?from=N        WAL records from sequence N on (replication
+         [&limit=M][&wait=S]  feed; long-polls up to S seconds when N
+                            is not written yet; ``reset: true`` tells a
+                            follower N was compacted away and it must
+                            reseed from the snapshot)
+    GET  /snapshot/<name>   one content-addressed snapshot document
+                            (the follower seed; name from /wal, /stats)
     POST /program           body: {"text": "<DSL>"} or {"ast": {...}}
                             -> compile + run a query program
     POST /ingest            body: delta JSON (label-addressed) -> seq
@@ -32,15 +39,28 @@ Every response — success or failure — is the versioned envelope::
 Error codes map statuses one-to-one: ``bad_request``/``parse_error``
 (400: the request or program never parsed), ``not_found`` (404),
 ``validation_failed`` (422: parsed but statically rejected — WOL5xx
-diagnostics ride in ``details``), ``session_spent`` (503) and
-``internal_error`` (500).  ``/check`` and ``/lint`` always answer 200:
-a report full of findings is a successful report, not a transport
-failure.
+diagnostics ride in ``details``), ``conflict`` (409: the node cannot
+serve this request *yet* or *at all* in its role — a replica behind
+the requested ``X-Repro-Seq`` answers ``replica_behind``, a replica
+asked to write answers ``read_only_replica`` with the leader's URL in
+``details``), ``session_spent`` (503) and ``internal_error`` (500).
+``/check`` and ``/lint`` always answer 200: a report full of findings
+is a successful report, not a transport failure.
+
+**Monotonic reads** (``X-Repro-Seq``): every response carries the
+serving node's applied sequence number in an ``X-Repro-Seq`` header.
+A client that sends the highest value it has seen back as a request
+header declares "answer from state at least this new" — a replica
+still catching up answers 409 ``replica_behind`` instead of silently
+serving stale state, and the client retries until the replica's
+applied seq passes the token.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -61,10 +81,18 @@ API_VERSION = 1
 CODE_FOR_STATUS = {
     400: "bad_request",
     404: "not_found",
+    409: "conflict",
     422: "validation_failed",
     500: "internal_error",
     503: "session_spent",
 }
+
+#: The monotonic-read session token header (request and response).
+SEQ_HEADER = "X-Repro-Seq"
+
+#: Snapshot files are content-addressed and flat — anything else in a
+#: ``GET /snapshot/<name>`` path is refused before touching the disk.
+SNAPSHOT_NAME = re.compile(r"^snap-[0-9a-f]{24}\.json$")
 
 
 def envelope_ok(result: Any) -> Dict[str, Any]:
@@ -95,9 +123,36 @@ class ServiceServer(ThreadingHTTPServer):
         self.session = session
         self.verbose = verbose
 
+    def handle_error(self, request, client_address) -> None:
+        """Keep peer hang-ups out of the log.
+
+        A follower killed mid-``/wal`` long-poll (or any client that
+        drops its socket before the response lands) surfaces here as a
+        broken pipe — routine connection churn, not a server error
+        worth a stack trace.
+        """
+        import sys
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
+
     @property
     def url(self) -> str:
+        """A URL clients can actually connect to.
+
+        A wildcard bind (``0.0.0.0``/``::``) is a listening address,
+        not a destination — mapped to the matching loopback host so
+        the CLI banner, the demo and replica bootstrap URLs work
+        verbatim.
+        """
         host, port = self.server_address[:2]
+        if host in ("0.0.0.0", ""):
+            host = "127.0.0.1"
+        elif host == "::":
+            host = "::1"
+        if ":" in host:  # bare IPv6 literals need brackets in URLs
+            host = f"[{host}]"
         return f"http://{host}:{port}"
 
 
@@ -128,6 +183,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        # The monotonic-read token: what sequence number this answer
+        # reflects.  Clients echo their highest seen value back as a
+        # request header to refuse stale replica reads.
+        self.send_header(SEQ_HEADER,
+                         str(self.server.session.applied_seq))
         if self.close_connection:
             # Declared, not just done: the peer must know this
             # keep-alive connection ends after the response.
@@ -143,7 +203,18 @@ class _Handler(BaseHTTPRequestHandler):
                                            details=details))
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length or 0)
+        except ValueError:
+            # A malformed length is a protocol-level parse failure,
+            # answered as one — not an unhandled ValueError resetting
+            # the connection.  The body cannot be framed without a
+            # length, so the keep-alive connection must close.
+            self.close_connection = True
+            self._error(400, f"malformed Content-Length header: "
+                             f"{raw_length!r}", code="parse_error")
+            return None
         if length <= 0:
             self._error(400, "request body required")
             return None
@@ -180,12 +251,41 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(status, envelope_ok(result))
 
+    def _check_read_token(self) -> bool:
+        """Enforce the ``X-Repro-Seq`` monotonic-read token, if sent.
+
+        Returns False (after answering) when the request asked for
+        state newer than this node has applied — a replica still
+        catching up answers 409 ``replica_behind`` and the client
+        retries rather than reading backwards in time.
+        """
+        raw = self.headers.get(SEQ_HEADER)
+        if raw is None:
+            return True
+        try:
+            wanted = int(raw)
+        except ValueError:
+            self._error(400, f"malformed {SEQ_HEADER} header: {raw!r}",
+                        code="parse_error")
+            return False
+        applied = self.server.session.applied_seq
+        if applied < wanted:
+            self._error(409, f"this node has applied seq {applied}, "
+                             f"behind the requested {wanted}; retry "
+                             f"shortly", code="replica_behind",
+                        details={"applied_seq": applied,
+                                 "requested_seq": wanted})
+            return False
+        return True
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         session = self.server.session
+        if not self._check_read_token():
+            return
         if parsed.path == "/health":
             self._dispatch(lambda: self._health(session))
         elif parsed.path == "/stats":
@@ -196,8 +296,58 @@ class _Handler(BaseHTTPRequestHandler):
             self._query(session, parse_qs(parsed.query))
         elif parsed.path == "/check":
             self._dispatch(lambda: (200, session.check_json()))
+        elif parsed.path == "/wal":
+            self._wal(session, parse_qs(parsed.query))
+        elif parsed.path.startswith("/snapshot/"):
+            self._snapshot_file(session,
+                                parsed.path[len("/snapshot/"):])
         else:
             self._error(404, f"no route {parsed.path}")
+
+    def _wal(self, session: WarehouseSession,
+             params: Dict[str, list]) -> None:
+        def number(name, default, convert):
+            values = params.get(name)
+            if not values:
+                return default, None
+            try:
+                return convert(values[0]), None
+            except ValueError:
+                return None, f"'{name}' must be a number, got " \
+                             f"{values[0]!r}"
+
+        from_seq, problem = number("from", None, int)
+        if problem is None and from_seq is None:
+            problem = "/wal requires ?from=<first sequence wanted>"
+        if problem is None:
+            limit, problem = number("limit", 500, int)
+        if problem is None:
+            wait, problem = number("wait", 0.0, float)
+        if problem is not None:
+            self._error(400, problem)
+            return
+        self._dispatch(lambda: (200, session.wal_records_from(
+            from_seq, limit=limit, wait=wait)))
+
+    def _snapshot_file(self, session: WarehouseSession,
+                       name: str) -> None:
+        if not SNAPSHOT_NAME.match(name):
+            self._error(400, f"malformed snapshot name {name!r}")
+            return
+
+        def load() -> Tuple[int, Dict[str, Any]]:
+            path = os.path.join(session.store.path, name)
+            try:
+                with open(path, "rb") as handle:
+                    content = handle.read()
+            except OSError:
+                raise ServiceError(
+                    f"no snapshot {name} in this store (it may have "
+                    f"been pruned; re-fetch /wal for the live name)",
+                    status=404) from None
+            return 200, json.loads(content.decode("utf-8"))
+
+        self._dispatch(load)
 
     def _query(self, session: WarehouseSession,
                params: Dict[str, list]) -> None:
@@ -232,6 +382,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         session = self.server.session
+        if not self._check_read_token():
+            return
         if parsed.path == "/ingest":
             document = self._read_body()
             if document is None:

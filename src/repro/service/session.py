@@ -88,35 +88,58 @@ class SessionCounters:
     started_at: float = field(default_factory=time.time)
 
 
+#: Longest a ``/wal`` long-poll may park one handler thread, whatever
+#: the client asked for.
+MAX_WAL_WAIT = 30.0
+
+#: Most records one ``/wal`` response carries (a follower just polls
+#: again — bounding the batch bounds response size and lock-free list
+#: slicing).
+MAX_WAL_BATCH = 1000
+
+
 class WarehouseSession:
     """A long-lived, thread-safe Morphase serving session."""
 
     def __init__(self, morphase, store: WarehouseStore,
                  defaults: Optional[Dict] = None) -> None:
         self.morphase = morphase
-        self.store = store
+        self._defaults = defaults
         self.counters = SessionCounters()
 
+        self._state_lock = ReadWriteLock()
+        self._intake = threading.Lock()     # serialises WAL appends
+        self._cond = threading.Condition()  # batch hand-off
+        # /wal long-poll hand-off: notified whenever the store's
+        # sequence number advances (ingest, replication) or the store
+        # itself is swapped (replica reseed).
+        self._wal_cond = threading.Condition()
+        self._pending: List[Tuple[int, Delta]] = []
+        self._applying = False
+        self._failure: Optional[str] = None
+        self._attach_store(store)
+
+    def _attach_store(self, store: WarehouseStore) -> None:
+        """Warm-rebuild this session's derived state over ``store``.
+
+        Batch-run once over the snapshot base, then drive the
+        recovered WAL tail through the incremental engine — the index
+        pool is rebased per delta, never rebuilt.  Called from
+        ``__init__`` and again (under the write lock) when a replica
+        reseeds itself from a fresh leader snapshot.
+        """
         start = time.perf_counter()
-        # Warm rebuild: batch-run once over the snapshot base, then
-        # drive the recovered WAL tail through the incremental engine —
-        # the index pool is rebased per delta, never rebuilt.
-        self.transform = morphase.begin_incremental(
-            store.base_instance, defaults=defaults)
-        self.audit = morphase.begin_incremental_audit(store.base_instance)
+        self.store = store
+        self.transform = self.morphase.begin_incremental(
+            store.base_instance, defaults=self._defaults)
+        self.audit = self.morphase.begin_incremental_audit(
+            store.base_instance)
         for _seq, delta in store.tail:
             self.transform.apply_delta(delta)
             self.audit.apply_delta(delta)
         self.counters.replayed_on_open = len(store.tail)
         self.counters.rebuild_ms = (time.perf_counter() - start) * 1000
-
-        self._state_lock = ReadWriteLock()
-        self._intake = threading.Lock()     # serialises WAL appends
-        self._cond = threading.Condition()  # batch hand-off
-        self._pending: List[Tuple[int, Delta]] = []
-        self._applying = False
         self._applied_seq = store.seq
-        self._failure: Optional[str] = None
         # Serialised target document, keyed by the applied sequence
         # number it renders — the target only changes at batch
         # boundaries, so reads between them share one encoding.
@@ -139,6 +162,7 @@ class WarehouseSession:
             if not delta.is_empty():
                 with self._cond:
                     self._pending.append((seq, delta))
+        self._notify_wal()
         return self._await_applied(seq)
 
     def ingest(self, delta: Delta) -> IngestResult:
@@ -149,7 +173,13 @@ class WarehouseSession:
             if not delta.is_empty():
                 with self._cond:
                     self._pending.append((seq, delta))
+        self._notify_wal()
         return self._await_applied(seq)
+
+    def _notify_wal(self) -> None:
+        """Wake /wal long-polls: the durable sequence advanced."""
+        with self._wal_cond:
+            self._wal_cond.notify_all()
 
     @property
     def spent(self) -> Optional[str]:
@@ -218,6 +248,66 @@ class WarehouseSession:
     @property
     def target(self):
         return self.transform.target
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest sequence number applied to the warm state.
+
+        The monotonic-read watermark: a response carrying this value in
+        ``X-Repro-Seq`` promises every delta at or below it is visible.
+        """
+        return self._applied_seq
+
+    # ------------------------------------------------------------------
+    # Replication feed
+    # ------------------------------------------------------------------
+    def wal_records_from(self, from_seq: int, limit: int = 500,
+                         wait: float = 0.0) -> Dict[str, Any]:
+        """Serve intact WAL records for ``GET /wal?from=<seq>``.
+
+        Returns the envelope result document: ``records`` (at most
+        ``limit`` of ``{"seq", "payload"}``, starting at ``from_seq``),
+        the server's current ``seq``/``base_seq``/``snapshot``, and
+        ``reset`` — true when ``from_seq`` was compacted away, telling
+        the follower to reseed from ``GET /snapshot/<snapshot>``.
+
+        With ``wait > 0`` and no record at ``from_seq`` yet, the call
+        long-polls (bounded by :data:`MAX_WAL_WAIT`) until an append
+        lands or the wait expires — an idle follower then holds one
+        cheap parked request instead of hot-polling.
+        """
+        if from_seq < 1:
+            raise ServiceError(
+                "'from' must be a sequence number >= 1")
+        if limit < 0:
+            raise ServiceError("'limit' must be >= 0")
+        if wait < 0:
+            raise ServiceError("'wait' must be >= 0 seconds")
+        limit = min(limit, MAX_WAL_BATCH)
+        deadline = time.monotonic() + min(wait, MAX_WAL_WAIT)
+        if limit:
+            with self._wal_cond:
+                # Checking under the condition closes the lost-wakeup
+                # window: appenders notify under the same lock.  A
+                # compacted-away ``from_seq`` stops the wait — the
+                # answer (reseed) is already known.
+                while (self.store.seq < from_seq
+                       and from_seq > self.store.base_seq):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wal_cond.wait(timeout=min(remaining, 1.0))
+        store = self.store  # a replica reseed may swap the store
+        if from_seq <= store.base_seq:
+            return {"from": from_seq, "reset": True, "records": [],
+                    "seq": store.seq, "base_seq": store.base_seq,
+                    "snapshot": store.snapshot_file}
+        records = store.export_records(from_seq, limit) if limit else []
+        return {"from": from_seq, "reset": False,
+                "records": [{"seq": seq, "payload": payload}
+                            for seq, payload in records],
+                "seq": store.seq, "base_seq": store.base_seq,
+                "snapshot": store.snapshot_file}
 
     def _target_document(self) -> Dict[str, Any]:
         """The serialised target, cached per applied batch.
@@ -409,6 +499,7 @@ class WarehouseSession:
             mean_batch_ms = (counters.apply_ms_total / counters.batches
                              if counters.batches else 0.0)
             return {
+                "role": "leader",
                 "uptime_seconds": round(
                     time.time() - counters.started_at, 3),
                 "seq": self.store.seq,

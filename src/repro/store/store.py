@@ -67,6 +67,12 @@ class WarehouseStore:
         self.base_instance = base_instance
         #: Deltas applied since the live snapshot, in sequence order.
         self.tail = tail
+        #: Raw label-addressed WAL payloads since the live snapshot,
+        #: as ``(seq, payload)`` in sequence order — the replication
+        #: feed ``export_records`` serves without re-reading the log
+        #: file.  Compaction *replaces* the list (never mutates it in
+        #: place) so concurrent exporters keep a consistent view.
+        self.payload_tail: List[Tuple[int, Any]] = []
         #: The torn final WAL record recovery dropped, if any.
         self.recovered_torn = recovered_torn
         self.appended = 0
@@ -125,10 +131,14 @@ class WarehouseStore:
             seq = record.seq
         if torn is not None:
             wal.truncate_at(torn.offset)
-        return cls(path, wal, instance, seq=seq, base_seq=base_seq,
-                   snapshot_file=manifest["snapshot"], labels=labels,
-                   base_instance=base_instance, tail=tail,
-                   recovered_torn=torn)
+        store = cls(path, wal, instance, seq=seq, base_seq=base_seq,
+                    snapshot_file=manifest["snapshot"], labels=labels,
+                    base_instance=base_instance, tail=tail,
+                    recovered_torn=torn)
+        store.payload_tail = [(record.seq, record.payload)
+                              for record in records
+                              if record.seq > base_seq]
+        return store
 
     @classmethod
     def open_or_create(cls, path: str,
@@ -165,6 +175,7 @@ class WarehouseStore:
         self.instance = updated
         self.seq = seq
         self.tail.append((seq, delta))
+        self.payload_tail.append((seq, payload))
         self.appended += 1
         return seq
 
@@ -184,6 +195,29 @@ class WarehouseStore:
         return delta
 
     # ------------------------------------------------------------------
+    # Replication export
+    # ------------------------------------------------------------------
+    def export_records(self, from_seq: int,
+                       limit: int) -> List[Tuple[int, Any]]:
+        """Raw WAL records with ``seq >= from_seq``, at most ``limit``.
+
+        The records are the label-addressed payloads exactly as the
+        WAL holds them — what a follower replays through its own store
+        to stay a deterministic copy of this one.  Records at or below
+        ``base_seq`` are gone (subsumed by the live snapshot); asking
+        for them returns an empty list, and the caller must reseed from
+        the snapshot instead.
+        """
+        tail = self.payload_tail  # one coherent list even mid-compaction
+        if not tail or limit <= 0:
+            return []
+        first = tail[0][0]
+        if from_seq < first:
+            return []
+        start = from_seq - first
+        return tail[start:start + limit]
+
+    # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
     def snapshot(self, prune: bool = True) -> str:
@@ -201,6 +235,9 @@ class WarehouseStore:
         self.base_seq = self.seq
         self.base_instance = self.instance
         self.tail = []
+        # A fresh list, not .clear(): an exporter holding the old one
+        # still sees a coherent pre-compaction tail.
+        self.payload_tail = []
         self.labels = LabelMap.derived_from_dump(self.instance)
         if prune:
             self._prune_snapshots(keep=name)

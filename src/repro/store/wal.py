@@ -138,6 +138,13 @@ class WriteAheadLog:
         Raises :class:`WalError` when a damaged record is *followed* by
         an intact one — that is mid-log corruption, not a torn append,
         and silently dropping acknowledged records would be data loss.
+
+        Sequence numbers must be strictly increasing: appends hand out
+        ``seq`` monotonically, so a duplicate or regressing ``seq`` can
+        only mean the log was tampered with or mis-assembled — and a
+        follower tailing this log over ``/wal?from=seq`` would double-
+        or mis-apply the duplicated records.  That is corruption too,
+        never a torn append.
         """
         if not os.path.exists(self.path):
             return [], None
@@ -155,6 +162,12 @@ class WriteAheadLog:
                     f"{self.path}: damaged record at byte "
                     f"{torn.offset} ({torn.reason}) is followed by an "
                     f"intact one — the log is corrupt, not torn")
+            if records and record.seq <= records[-1].seq:
+                raise WalError(
+                    f"{self.path}: record seq {record.seq} at byte "
+                    f"{offset} does not increase on the previous seq "
+                    f"{records[-1].seq} — appends are strictly "
+                    f"monotonic, so the log is corrupt")
             records.append(record)
         return records, torn
 

@@ -1,0 +1,210 @@
+"""Concurrency tests for the writer-preferring read-write lock.
+
+These pin behaviour the whole service layer leans on: readers share,
+writers exclude and *jump the queue*, nobody sleeps through a wakeup —
+and one sharp edge is documented on purpose: the lock is not
+reentrant, so acquiring a read lock while already holding one
+deadlocks as soon as a writer is waiting in between.
+"""
+
+import threading
+import time
+
+from repro.service.locks import ReadWriteLock
+
+
+def run_deadline(threads, seconds=10.0):
+    """Start and join with a deadline; a hung thread fails the test."""
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + seconds
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
+    return [thread for thread in threads if thread.is_alive()]
+
+
+class TestSharingAndExclusion:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(4, timeout=5.0)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all four must be inside at once
+
+        hung = run_deadline([threading.Thread(target=reader)
+                             for _ in range(4)])
+        assert not hung
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        active = []
+        overlap = []
+
+        def worker(kind):
+            ctx = lock.write() if kind == "w" else lock.read()
+            with ctx:
+                active.append(kind)
+                if kind == "w" and len(active) > 1:
+                    overlap.append(list(active))
+                time.sleep(0.005)
+                active.remove(kind)
+
+        hung = run_deadline(
+            [threading.Thread(target=worker, args=(kind,))
+             for kind in "wrwrwr"])
+        assert not hung
+        assert not overlap  # a writer never saw company
+
+
+class TestWriterPreference:
+    def test_waiting_writer_blocks_new_readers(self):
+        """Readers arriving behind a waiting writer queue behind it."""
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_read()  # hold the lock as an in-flight reader
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("reader")
+            lock.release_read()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        # Writer is parked behind the held read lock.
+        time.sleep(0.05)
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        time.sleep(0.05)
+        # Neither may proceed while the original reader holds on —
+        # and crucially the *late reader* is held back too, purely by
+        # the writer waiting ahead of it.
+        assert order == []
+        lock.release_read()
+        writer_thread.join(timeout=5.0)
+        reader_thread.join(timeout=5.0)
+        assert order[0] == "writer"
+        assert sorted(order) == ["reader", "writer"]
+
+    def test_query_stream_does_not_starve_writer(self):
+        """A steady overlap of readers never locks the writer out."""
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        wrote = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.read():
+                    time.sleep(0.001)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            def writer():
+                with lock.write():
+                    wrote.set()
+            writer_thread = threading.Thread(target=writer)
+            writer_thread.start()
+            assert wrote.wait(timeout=5.0), \
+                "writer starved by a reader stream"
+            writer_thread.join(timeout=5.0)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=5.0)
+
+
+class TestNoLostWakeups:
+    def test_interleaved_churn_converges(self):
+        """Heavy reader/writer churn ends with every thread served.
+
+        A lost wakeup (a waiter missing the notify that should have
+        released it) would strand at least one thread past the
+        deadline.
+        """
+        lock = ReadWriteLock()
+        counter = {"value": 0, "reads": 0}
+
+        def writer():
+            for _ in range(25):
+                with lock.write():
+                    counter["value"] += 1
+
+        def reader():
+            for _ in range(25):
+                with lock.read():
+                    counter["reads"] += 1
+
+        threads = ([threading.Thread(target=writer) for _ in range(3)]
+                   + [threading.Thread(target=reader) for _ in range(5)])
+        hung = run_deadline(threads, seconds=30.0)
+        assert not hung
+        assert counter["value"] == 75
+        assert counter["reads"] == 125
+
+    def test_release_read_wakes_all_waiting_writers_in_turn(self):
+        lock = ReadWriteLock()
+        done = []
+        lock.acquire_read()
+        threads = [threading.Thread(
+            target=lambda: (lock.acquire_write(), done.append(1),
+                            lock.release_write()))
+            for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        assert done == []  # all parked behind the reader
+        lock.release_read()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(done) == 3
+
+
+class TestKnownLimitations:
+    def test_nested_read_deadlocks_when_writer_waits(self):
+        """PINNED: the lock is not reentrant for readers.
+
+        A thread holding a read lock that tries to acquire *another*
+        read lock deadlocks the moment a writer is already waiting:
+        writer preference parks the nested acquire behind the writer,
+        and the writer waits for the outer read to release — which it
+        never will.  Session code must therefore never call a
+        read-locked method from inside a read-locked section (see
+        ``WarehouseSession``: locked public methods delegate to
+        unlocked ``_``-helpers).  If reentrancy is ever added, this
+        test should start failing and be rewritten to assert it.
+        """
+        lock = ReadWriteLock()
+        progressed = threading.Event()
+
+        def nested_reader():
+            lock.acquire_read()
+            time.sleep(0.1)  # let the writer queue up behind us
+            lock.acquire_read()  # deadlocks: parked behind the writer
+            progressed.set()  # never reached today
+            lock.release_read()
+            lock.release_read()
+
+        reader_thread = threading.Thread(target=nested_reader,
+                                         daemon=True)
+        reader_thread.start()
+        time.sleep(0.02)
+        writer_thread = threading.Thread(target=lock.acquire_write,
+                                         daemon=True)
+        writer_thread.start()
+        assert not progressed.wait(timeout=0.5), \
+            "nested read acquisition succeeded — the lock became " \
+            "reentrant; update this pinned test and the session docs"
+        # Unwedge so the daemon threads exit before interpreter
+        # shutdown: release the outer read from *this* thread
+        # (release_read tracks no owner), letting the writer through.
+        lock.release_read()
+        writer_thread.join(timeout=5.0)
+        assert not writer_thread.is_alive()
+        lock.release_write()

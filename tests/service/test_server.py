@@ -7,8 +7,10 @@ wire*: the served target always equals a cold batch transform of the
 store's final instance.
 """
 
+import itertools
 import json
 import threading
+import time
 
 import pytest
 
@@ -26,6 +28,17 @@ INSERT_DELTA = {"inserts": {
                                   "country": {"$oid": "CountryE",
                                               "label": "CountryE#new"}}}}],
 }}
+
+_fresh = itertools.count()
+
+
+def next_insert_delta(tag):
+    """A unique one-country insert (labels must not collide)."""
+    n = next(_fresh)
+    return {"inserts": {"CountryE": [
+        {"id": {"$oid": "CountryE", "label": f"CountryE#{tag}{n}"},
+         "value": {"$rec": {"name": f"Land-{tag}-{n}", "language": "x",
+                            "currency": f"c{n}"}}}]}}
 
 
 @pytest.fixture(scope="module")
@@ -293,3 +306,224 @@ class TestLintEndpoint:
             client._call("POST", "/lint", body={"program": 42})
         assert info.value.status == 400
         assert info.value.code == "bad_request"
+
+
+class TestMalformedContentLength:
+    def raw_post(self, client, length_header):
+        import http.client
+        host, port = client.base_url.replace("http://", "").split(":")
+        conn = http.client.HTTPConnection(host, int(port))
+        try:
+            conn.putrequest("POST", "/ingest")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", length_header)
+            conn.endheaders()
+            response = conn.getresponse()
+            return response, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_non_numeric_length_is_400_not_crash(self, service):
+        """A malformed Content-Length used to escape as an unhandled
+        ValueError (connection reset, stack trace on the server); it
+        must be answered as a protocol parse error."""
+        _, _, client = service
+        response, document = self.raw_post(client, "banana")
+        assert response.status == 400
+        assert document["ok"] is False
+        assert document["error"]["code"] == "parse_error"
+        assert "banana" in document["error"]["message"]
+        assert response.will_close  # the body cannot be framed
+
+    def test_float_length_is_400(self, service):
+        _, _, client = service
+        response, document = self.raw_post(client, "12.5")
+        assert response.status == 400
+        assert document["error"]["code"] == "parse_error"
+
+    def test_service_still_healthy_after(self, service):
+        _, _, client = service
+        self.raw_post(client, "not-a-length")
+        assert "seq" in client.health()
+
+
+class TestWildcardBindUrl:
+    def test_wildcard_bind_yields_connectable_url(self):
+        """``url`` used to echo the bind host — and nothing listens
+        at ``http://0.0.0.0``: clients must be pointed at loopback."""
+        from repro.service.server import ServiceServer
+        server = ServiceServer.__new__(ServiceServer)
+        server.server_address = ("0.0.0.0", 8973)
+        assert server.url == "http://127.0.0.1:8973"
+        server.server_address = ("", 8080)
+        assert server.url == "http://127.0.0.1:8080"
+
+    def test_ipv6_wildcard_and_literal_are_bracketed(self):
+        from repro.service.server import ServiceServer
+        server = ServiceServer.__new__(ServiceServer)
+        server.server_address = ("::", 9000, 0, 0)
+        assert server.url == "http://[::1]:9000"
+        server.server_address = ("fe80::1", 9000, 0, 0)
+        assert server.url == "http://[fe80::1]:9000"
+
+    def test_explicit_host_passes_through(self):
+        from repro.service.server import ServiceServer
+        server = ServiceServer.__new__(ServiceServer)
+        server.server_address = ("127.0.0.1", 8973)
+        assert server.url == "http://127.0.0.1:8973"
+
+    def test_real_wildcard_bind_is_reachable_via_url(self, service):
+        morphase, session, _ = service
+        from repro.service import make_server
+        server = make_server(session, host="0.0.0.0", port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            assert "0.0.0.0" not in server.url
+            assert "seq" in ServiceClient(server.url).health()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestMonotonicReadToken:
+    def test_every_response_carries_the_seq_header(self, service):
+        _, session, client = service
+        import urllib.request
+        with urllib.request.urlopen(client.base_url + "/health") as resp:
+            value = resp.headers.get("X-Repro-Seq")
+        assert value is not None
+        assert int(value) == session.applied_seq
+
+    def test_client_tracks_and_echoes_the_token(self, service):
+        _, session, client = service
+        client.health()
+        assert client.last_seq == session.applied_seq
+
+    def test_future_token_is_409_replica_behind(self, service):
+        from repro.service import ServiceConflictError
+        _, session, client = service
+        impatient = ServiceClient(client.base_url, behind_wait=0.0)
+        impatient.last_seq = session.applied_seq + 10
+        with pytest.raises(ServiceConflictError) as info:
+            impatient.health()
+        assert info.value.status == 409
+        assert info.value.code == "replica_behind"
+        assert info.value.details["applied_seq"] == session.applied_seq
+        assert info.value.details["requested_seq"] \
+            == session.applied_seq + 10
+
+    def test_malformed_token_is_400(self, service):
+        import urllib.error
+        import urllib.request
+        _, _, client = service
+        request = urllib.request.Request(
+            client.base_url + "/health",
+            headers={"X-Repro-Seq": "yesterday"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_behind_retry_succeeds_once_caught_up(self, service):
+        """The client's retry loop resolves a transient 409 by itself
+        once the node's applied seq passes the token."""
+        _, session, client = service
+        waiter = ServiceClient(client.base_url, behind_wait=5.0)
+        waiter.last_seq = session.applied_seq + 1
+        done = {}
+
+        def read():
+            done["seq"] = waiter.health()["seq"]
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        time.sleep(0.2)
+        client.ingest(next_insert_delta("monotonic"))
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert done["seq"] == session.applied_seq
+
+
+class TestWalEndpoint:
+    def test_feed_serves_appended_records(self, service):
+        _, session, client = service
+        first = session.store.seq + 1
+        client.ingest(next_insert_delta("walfeed"))
+        feed = client.wal(first)
+        assert feed["reset"] is False
+        assert feed["seq"] == session.store.seq
+        assert feed["records"][-1]["seq"] == session.store.seq
+        assert all(r["seq"] >= first for r in feed["records"])
+
+    def test_from_is_required(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client._call("GET", "/wal")
+        assert info.value.status == 400
+        assert "from" in info.value.message
+
+    def test_non_numeric_params_are_400(self, service):
+        _, _, client = service
+        for path in ("/wal?from=abc", "/wal?from=1&limit=x",
+                     "/wal?from=1&wait=soon"):
+            with pytest.raises(ServiceClientError) as info:
+                client._call("GET", path)
+            assert info.value.status == 400
+
+    def test_compacted_cursor_answers_reset(self, service):
+        _, session, client = service
+        client.ingest(next_insert_delta("compactme"))
+        client.snapshot()
+        feed = client.wal(1)
+        assert feed["reset"] is True
+        assert feed["records"] == []
+        assert feed["snapshot"] == session.store.snapshot_file
+
+    def test_long_poll_wakes_on_append(self, service):
+        _, session, client = service
+        from_seq = session.store.seq + 1
+
+        def later():
+            time.sleep(0.2)
+            client.ingest(next_insert_delta("longpoll"))
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        started = time.monotonic()
+        feed = ServiceClient(client.base_url).wal(from_seq, wait=10.0)
+        elapsed = time.monotonic() - started
+        thread.join()
+        assert feed["records"] and feed["records"][0]["seq"] == from_seq
+        assert elapsed < 8.0  # woke on the append, not the deadline
+
+    def test_expired_wait_returns_empty(self, service):
+        _, session, client = service
+        feed = client.wal(session.store.seq + 1, wait=0.1)
+        assert feed["records"] == [] and feed["reset"] is False
+
+
+class TestSnapshotFileEndpoint:
+    def test_serves_the_live_snapshot_verbatim(self, service):
+        _, session, client = service
+        name = session.store.snapshot_file
+        document = client.snapshot_file(name)
+        from repro.store.snapshot import snapshot_name
+        canonical = json.dumps(document, sort_keys=True,
+                               separators=(",", ":")).encode()
+        assert snapshot_name(canonical) == name
+        assert document["base_seq"] == session.store.base_seq
+
+    def test_malformed_names_are_400(self, service):
+        _, _, client = service
+        for name in ("../CURRENT.json", "snap-upperCASE000000000000.json",
+                     "wal.jsonl", "snap-abc.json"):
+            with pytest.raises(ServiceClientError) as info:
+                client._call("GET", "/snapshot/" + name)
+            assert info.value.status == 400, name
+
+    def test_unknown_snapshot_is_404(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceClientError) as info:
+            client.snapshot_file("snap-" + "0" * 24 + ".json")
+        assert info.value.status == 404

@@ -151,3 +151,53 @@ class TestFailedAppend:
         records, torn = wal.replay()
         assert [r.seq for r in records] == [1, 2, 3, 4]
         assert torn is None
+
+
+class TestStrictSequence:
+    """Replay refuses duplicate or regressing sequence numbers.
+
+    Appends hand out ``seq`` monotonically, so a duplicate can only be
+    tampering or mis-assembly — and a follower tailing the log over
+    ``/wal`` would double-apply the duplicated record.  Before this
+    was enforced, replay accepted such logs silently.
+    """
+
+    def append_raw(self, wal, seq, payload):
+        import zlib
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        crc = zlib.crc32(text.encode()) & 0xFFFFFFFF
+        line = json.dumps({"seq": seq, "crc": crc, "payload": payload},
+                          sort_keys=True, separators=(",", ":")) + "\n"
+        with open(wal.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def test_duplicate_seq_raises(self, wal):
+        fill(wal, 2)
+        self.append_raw(wal, 2, {"n": "again"})
+        with pytest.raises(WalError, match="does not increase"):
+            wal.replay()
+
+    def test_regressing_seq_raises(self, wal):
+        fill(wal, 3)
+        self.append_raw(wal, 1, {"n": "rewound"})
+        with pytest.raises(WalError, match="strictly"):
+            wal.replay()
+
+    def test_gap_is_still_fine_at_wal_level(self, wal):
+        """Gaps are legal here — the *store* checks contiguity against
+        its ``base_seq`` watermark (a snapshot legitimately swallows a
+        prefix); the WAL itself only refuses non-increasing order."""
+        self.append_raw(wal, 5, {"n": 5})
+        self.append_raw(wal, 9, {"n": 9})
+        records, torn = wal.replay()
+        assert [r.seq for r in records] == [5, 9]
+        assert torn is None
+
+    def test_duplicate_then_torn_tail_still_raises(self, wal):
+        fill(wal, 2)
+        self.append_raw(wal, 2, {"n": "again"})
+        with open(wal.path, "ab") as handle:
+            handle.write(b'{"seq": 3, "crc"')  # torn final append
+        with pytest.raises(WalError, match="does not increase"):
+            wal.replay()
