@@ -1,0 +1,136 @@
+"""O1: the observability tax — instrumented vs ``--no-obs`` baseline.
+
+The whole point of ``repro.obs`` is that it can stay on in
+production: metric mutations are one small lock each, spans are a
+single context-variable read when nothing traces, and events are one
+level comparison when nobody listens.  This benchmark pins that claim
+on the hottest instrumented path — a warm session absorbing deltas
+and answering body queries (WAL append timings, group-commit
+histograms, lock-wait histograms, engine counters all firing) — and
+floors the ratio at ≤5% overhead.
+
+``speedup`` is ``t_disabled / t_enabled``: 1.0 means free, 0.95 means
+instrumentation costs 5%.
+"""
+
+import tempfile
+
+import pytest
+from conftest import best_of, print_table
+
+from repro.adapters.acedb import AceDatabase, schema_of_acedb
+from repro.evolution.delta import Delta
+from repro.model.values import Oid, Record, WolSet
+from repro.morphase import Morphase
+from repro.obs.metrics import REGISTRY, set_enabled
+from repro.workloads import genome
+
+GENOME_SIZE = {"genes": 150, "sequences": 300, "clones": 300,
+               "sparsity": 0.9, "seed": 7}
+
+#: Acceptance: metrics-on must keep >= 95% of metrics-off throughput.
+OVERHEAD_FLOOR = 0.95
+
+#: Deltas ingested + body queries answered per measured run.
+ROUNDS = 60
+REPETITIONS = 5
+
+QUERY_BODY = "X in SequenceT, N = X.name"
+
+
+def make_morphase():
+    source_schema = schema_of_acedb(
+        AceDatabase("ACe22", genome.ACE_CLASSES))
+    m = Morphase([source_schema], genome.warehouse_schema(),
+                 genome.PROGRAM_TEXT)
+    m.compile()
+    return m
+
+
+def small_delta(tag):
+    gene = Oid.keyed("Gene", f"G-obs-{tag}")
+    seq = Oid.keyed("Sequence", f"S-obs-{tag}")
+    return Delta(inserts={
+        "Gene": {gene: Record.of(
+            name=f"G-obs-{tag}", symbol=WolSet.of(f"sym{tag}"),
+            description=WolSet.of(f"bench {tag}"))},
+        "Sequence": {seq: Record.of(
+            name=f"S-obs-{tag}",
+            dna_length=WolSet.of(50_000 + tag),
+            method=WolSet.of("shotgun"), gene=WolSet.of(gene))},
+    })
+
+
+class SessionFixture:
+    """One warm in-process session over a fresh genome store."""
+
+    def __init__(self):
+        self.morphase = make_morphase()
+        self.tmp = tempfile.TemporaryDirectory()
+        source = self.morphase._merge_sources(
+            genome.source_instance(genome.generate_acedb(**GENOME_SIZE)))
+        store = self.morphase.open_store(
+            self.tmp.name + "/store", [source])
+        self.session = self.morphase.serve(store)
+        self.tag = 0
+
+    def run_rounds(self):
+        from repro.evolution.delta import delta_to_json
+        for _ in range(ROUNDS):
+            self.tag += 1
+            document = delta_to_json(small_delta(self.tag))
+            self.session.ingest_json(document)
+            self.session.query_body_json(QUERY_BODY, project="N")
+
+    def close(self):
+        self.session.close()
+        self.tmp.cleanup()
+
+
+def measured_seconds(enabled):
+    fixture = SessionFixture()
+    try:
+        set_enabled(enabled)
+        fixture.run_rounds()  # warm-up: plan, indexes, page cache
+        _, seconds = best_of(fixture.run_rounds,
+                             repetitions=REPETITIONS)
+    finally:
+        set_enabled(True)
+        fixture.close()
+    return seconds
+
+
+@pytest.mark.benchmark(group="observability")
+def test_observability_overhead(benchmark, bench_report):
+    REGISTRY.reset()
+    off = measured_seconds(False)
+    on = measured_seconds(True)
+    speedup = off / on
+
+    def noop():
+        pass
+
+    benchmark(noop)
+    benchmark.extra_info.update({
+        "seconds_disabled": off, "seconds_enabled": on,
+        "speedup": speedup,
+    })
+    per_round_on = on / ROUNDS * 1000.0
+    per_round_off = off / ROUNDS * 1000.0
+    print_table(
+        "observability overhead (warm ingest + query round)",
+        ("mode", "ms/round", "ratio"),
+        [("obs disabled", f"{per_round_off:.3f}", "1.000"),
+         ("obs enabled", f"{per_round_on:.3f}", f"{off / on:.3f}")])
+    bench_report.record(
+        "warm_ingest_query_overhead",
+        rounds=ROUNDS,
+        seconds_disabled=round(off, 6),
+        seconds_enabled=round(on, 6),
+        speedup=round(speedup, 4),
+        floor=OVERHEAD_FLOOR,
+        metric="speedup")
+    # Sanity, not the gate (check_floors.py is the gate): the
+    # instrumented run must not be catastrophically slower even on a
+    # noisy box.
+    assert speedup > 0.5

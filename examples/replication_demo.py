@@ -16,7 +16,10 @@ byte-identical to the leader's.  This demo exercises the whole story:
 4. restart B over its own store directory and watch it reseed from the
    leader's snapshot and catch up,
 5. verify both followers converge to a byte-identical ``/target``,
-6. show a write bouncing off a follower (409 with the leader's URL)
+6. scrape ``GET /metrics`` on the leader and a follower and assert
+   the replication gauges (lag, leader seq, records shipped) and the
+   leader's request/WAL families carry live samples,
+7. show a write bouncing off a follower (409 with the leader's URL)
    and the monotonic-read token holding across nodes.
 
 Run:  PYTHONPATH=src python examples/replication_demo.py
@@ -58,6 +61,31 @@ def serve(session):
     server = make_server(session)
     threading.Thread(target=server.serve_forever, daemon=True).start()
     return server
+
+
+def metric_value(text: str, sample: str) -> float:
+    """One sample's value out of a Prometheus text page (or -1)."""
+    for line in text.splitlines():
+        if line.startswith(sample + " "):
+            return float(line.rsplit(" ", 1)[1])
+    return -1.0
+
+
+def check_metrics(client: ServiceClient, role: str,
+                  samples: dict) -> bool:
+    """Assert each sample appears on this node with a live value."""
+    text = client.metrics()
+    ok = True
+    for sample, minimum in samples.items():
+        value = metric_value(text, sample)
+        if value < minimum:
+            print(f"MISSING METRIC on {role}: {sample} = {value} "
+                  f"(wanted >= {minimum})")
+            ok = False
+    if ok:
+        shown = ", ".join(sorted(samples))
+        print(f"  {role} /metrics exposes {shown}")
+    return ok
 
 
 def main() -> int:
@@ -137,7 +165,30 @@ def main() -> int:
     print("both followers byte-identical to the leader "
           f"at seq {final_seq}")
 
-    # 6a. Writes bounce off followers with the leader's address.
+    # 6. The replication control plane is on /metrics: the leader
+    # shows the write-path families, the follower shows the lag,
+    # progress and resync gauges a dashboard would alert on.
+    if not check_metrics(leader, "leader", {
+            'repro_http_requests_total{method="POST",'
+            'endpoint="/ingest",status="200"}': INGESTS,
+            "repro_wal_appends_total": INGESTS,
+            'repro_session_role{role="leader"}': 1,
+    }):
+        return 1
+    if not check_metrics(ServiceClient(server_a.url), "follower A", {
+            'repro_session_role{role="replica"}': 1,
+            "repro_replication_lag": 0,  # present (and 0: converged)
+            "repro_replication_leader_seq": 1,
+            "repro_replication_records": 1,
+    }):
+        return 1
+    # B reseeded from the snapshot, so its resync counter is live.
+    if not check_metrics(ServiceClient(server_b.url), "follower B", {
+            "repro_replication_resyncs": 1,
+    }):
+        return 1
+
+    # 7a. Writes bounce off followers with the leader's address.
     try:
         ServiceClient(server_a.url).ingest(insert_delta(999))
         print("MISMATCH: follower A accepted a write")
@@ -146,7 +197,7 @@ def main() -> int:
         print(f"follower A refused a write: {exc.code} "
               f"(leader: {exc.details['leader']})")
 
-    # 6b. Monotonic reads: a client that just read the leader carries
+    # 7b. Monotonic reads: a client that just read the leader carries
     # its token to a follower and never sees older state.
     roaming = ServiceClient(server_a.url)
     roaming.last_seq = leader.last_seq  # token observed on the leader

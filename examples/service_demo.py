@@ -12,9 +12,11 @@ that system end to end:
 3. POST a source delta and watch it group-commit into the warm target,
 4. verify the served target equals a cold batch transform of the
    updated source (the differential guarantee),
-5. kill the session, recover the store from disk, and verify the
+5. scrape GET /metrics and assert the Prometheus families a
+   dashboard would alert on are present with live samples,
+6. kill the session, recover the store from disk, and verify the
    rebuilt warm session agrees byte for byte,
-6. compact (snapshot) and show the WAL reset.
+7. compact (snapshot) and show the WAL reset.
 
 Run:  PYTHONPATH=src python examples/service_demo.py
 
@@ -49,6 +51,31 @@ NEW_COUNTRY_DELTA = {
 
 def dumps(instance) -> str:
     return json.dumps(instance_to_json(instance), sort_keys=True)
+
+
+def metric_value(text: str, sample: str) -> float:
+    """One sample's value out of a Prometheus text page (or -1)."""
+    for line in text.splitlines():
+        if line.startswith(sample + " "):
+            return float(line.rsplit(" ", 1)[1])
+    return -1.0
+
+
+def check_metrics(client: ServiceClient, role: str,
+                  samples: dict) -> bool:
+    """Assert each sample appears on this node with a live value."""
+    text = client.metrics()
+    ok = True
+    for sample, minimum in samples.items():
+        value = metric_value(text, sample)
+        if value < minimum:
+            print(f"MISSING METRIC on {role}: {sample} = {value} "
+                  f"(wanted >= {minimum})")
+            ok = False
+    if ok:
+        shown = ", ".join(sorted(samples))
+        print(f"  {role} /metrics exposes {shown}")
+    return ok
 
 
 def main() -> int:
@@ -101,7 +128,21 @@ def main() -> int:
         return 1
     print("served target equals cold batch transform of final source")
 
-    # 5. Kill and recover: reopen the store, rebuild the warm session.
+    # 5. The observability surface: request latency histograms, WAL
+    # append timings and session progress are live on /metrics.
+    if not check_metrics(client, "leader", {
+            'repro_http_requests_total{method="POST",'
+            'endpoint="/ingest",status="200"}': 1,
+            'repro_http_request_seconds_count{method="GET",'
+            'endpoint="/query"}': 1,
+            "repro_wal_appends_total": 1,
+            "repro_wal_append_seconds_count": 1,
+            'repro_session_role{role="leader"}': 1,
+            "repro_session_ingested": 1,
+    }):
+        return 1
+
+    # 6. Kill and recover: reopen the store, rebuild the warm session.
     server.shutdown()
     server.server_close()
     session.close()
@@ -114,7 +155,7 @@ def main() -> int:
         return 1
     print("recovered warm session agrees with the cold oracle")
 
-    # 6. Compaction: snapshot subsumes the WAL.
+    # 7. Compaction: snapshot subsumes the WAL.
     report = warm.snapshot()
     print(f"compacted: snapshot {report['snapshot']} at "
           f"base_seq {report['base_seq']}, WAL now "

@@ -103,7 +103,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .constraints.audit import audit_constraints
@@ -114,6 +116,7 @@ from .lang.pretty import format_program
 from .model.keys import KeyedSchema
 from .model.schema import parse_schema
 from .morphase.system import Morphase
+from .obs.trace import render_trace_json, start_trace
 from .semantics.satisfaction import merge_instances
 
 
@@ -155,12 +158,17 @@ def _cmd_compile(args) -> int:
 def _cmd_transform(args) -> int:
     morphase = _build_morphase(args)
     instances = [load_instance(path) for path in args.data]
-    result = morphase.transform(
-        instances, backend=args.backend,
-        check_source_constraints=args.check_source,
-        use_planner=not args.no_planner,
-        parallel=args.parallel,
-        columnar=not args.no_columnar)
+    tracing = (start_trace("transform", program=args.program)
+               if args.trace else nullcontext(None))
+    with tracing as trace:
+        result = morphase.transform(
+            instances, backend=args.backend,
+            check_source_constraints=args.check_source,
+            use_planner=not args.no_planner,
+            parallel=args.parallel,
+            columnar=not args.no_columnar)
+    if trace is not None:
+        print(trace.render())
     dump_instance(result.target, args.out)
     sizes = ", ".join(f"{cname}={count}" for cname, count in
                       sorted(result.target.class_sizes().items()))
@@ -221,10 +229,16 @@ def _cmd_check(args) -> int:
         print("error: --parallel shards join plans; drop --no-planner",
               file=sys.stderr)
         return 2
-    report = audit_constraints(merged, list(program), limit_per_clause=10,
-                               use_planner=not args.no_planner,
-                               parallel=args.parallel,
-                               columnar=not args.no_columnar)
+    tracing = (start_trace("check", program=args.program)
+               if args.trace else nullcontext(None))
+    with tracing as trace:
+        report = audit_constraints(merged, list(program),
+                                   limit_per_clause=10,
+                                   use_planner=not args.no_planner,
+                                   parallel=args.parallel,
+                                   columnar=not args.no_columnar)
+    if trace is not None:
+        print(trace.render())
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -357,6 +371,7 @@ def _cmd_program(args) -> int:
         print(json.dumps(program.to_json(), indent=2))
         return 0
 
+    trace_doc = None
     if args.url:
         from .service.client import (ServiceClient, ServiceParseError,
                                      ServiceValidationError)
@@ -364,7 +379,9 @@ def _cmd_program(args) -> int:
         try:
             result = client.program(text=text,
                                     columnar=not args.no_columnar,
-                                    explain=args.explain)
+                                    explain=args.explain,
+                                    trace=args.trace)
+            trace_doc = client.last_trace
         except ServiceValidationError as exc:
             _print_program_diagnostics(exc.diagnostics, args.program)
             return 1
@@ -385,14 +402,21 @@ def _cmd_program(args) -> int:
             _print_program_diagnostics(exc.report.to_json(),
                                        args.program)
             return 1
-        outcome = run_compiled(compiled, merged,
-                               columnar=not args.no_columnar,
-                               shards=args.shards)
+        tracing = (start_trace("program", program=args.program)
+                   if args.trace else nullcontext(None))
+        with tracing as trace:
+            outcome = run_compiled(compiled, merged,
+                                   columnar=not args.no_columnar,
+                                   shards=args.shards)
+        if trace is not None:
+            trace_doc = trace.to_json()
         result = outcome.to_json()
         if args.explain:
             result["explain"] = compiled.explain()
 
     if args.json:
+        if trace_doc is not None:
+            result["trace"] = trace_doc
         print(json.dumps(result, indent=2, sort_keys=True))
         return 0
     label = result.get("program") or args.program
@@ -416,6 +440,8 @@ def _cmd_program(args) -> int:
         print(f"  {cells}")
     if args.explain and "explain" in result:
         print(result["explain"])
+    if trace_doc is not None:
+        print(render_trace_json(trace_doc))
     return 0
 
 
@@ -442,7 +468,15 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .obs.events import configure_event_log
+    from .obs.metrics import set_enabled
     from .service.server import make_server
+    if args.no_obs:
+        set_enabled(False)
+    else:
+        configure_event_log(
+            sys.stderr,
+            level=logging.DEBUG if args.verbose else logging.INFO)
     morphase = _build_morphase(args)
     replica = None
     if args.replica_of:
@@ -465,7 +499,8 @@ def _cmd_serve(args) -> int:
         print(f"store: {args.store} (seq {stats['seq']}, "
               f"{stats['wal_records']} WAL record(s) replayed)")
     server = make_server(session, host=args.host, port=args.port,
-                         verbose=args.verbose)
+                         verbose=args.verbose,
+                         slow_query_ms=args.slow_query_ms)
     endpoints = ("GET /query, GET /check, GET /stats, GET /wal"
                  if replica is not None else
                  "POST /ingest, POST /program, GET /query, GET /check, "
@@ -618,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "sequential run)")
     transform_p.add_argument("--stats", action="store_true",
                              help="print executor/planner statistics")
+    transform_p.add_argument("--trace", action="store_true",
+                             help="print the EXPLAIN-ANALYZE span tree "
+                                  "(per-phase and per-plan-step "
+                                  "timings) for the run")
     check_p.add_argument("--data", action="append", required=True,
                          help="instance JSON (repeatable)")
     check_p.add_argument("--no-planner", action="store_true",
@@ -633,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print audit planner/index statistics")
     check_p.add_argument("--json", action="store_true",
                          help="emit the violation report as JSON")
+    check_p.add_argument("--trace", action="store_true",
+                         help="print the EXPLAIN-ANALYZE span tree for "
+                              "the audit run")
     plan_p.add_argument("--data", action="append", required=True,
                         help="source instance JSON (repeatable)")
     delta_p.add_argument("--data", action="append", required=True,
@@ -672,6 +714,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "request (default 5.0)")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    serve_p.add_argument("--slow-query-ms", type=float, default=500.0,
+                         metavar="MS", dest="slow_query_ms",
+                         help="log a structured slow_query event for "
+                              "read requests slower than MS "
+                              "(default 500)")
+    serve_p.add_argument("--no-obs", action="store_true",
+                         help="disable metrics collection and the "
+                              "structured event log (observability is "
+                              "on by default)")
     snapshot_p.add_argument("--store", required=True,
                             help="warehouse store directory")
     snapshot_p.add_argument("--data", action="append",
@@ -720,6 +771,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run shardable query statements as N "
                                 "sequential shards (local mode; results "
                                 "are byte-identical to --shards 1)")
+    program_p.add_argument("--trace", action="store_true",
+                           help="print the EXPLAIN-ANALYZE span tree "
+                                "(per-statement timings; with --url the "
+                                "service returns it in the envelope)")
 
     compile_p.set_defaults(func=_cmd_compile)
     transform_p.set_defaults(func=_cmd_transform)

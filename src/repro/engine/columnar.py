@@ -41,6 +41,8 @@ from ..lang.ast import (Const, EqAtom, InAtom, LtAtom, MemberAtom, NeqAtom,
 from ..model.instance import InstanceError
 from ..model.types import ClassType, ListType, RecordType, SetType
 from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
+from ..obs.trace import current_span
+from ..obs.trace import span as trace_span
 from ..semantics.columns import MISSING, deterministic_order
 from ..semantics.eval import Binding, skolem_key
 from ..semantics.match import (STEP_COMPARE, STEP_EQ_BIND, STEP_EQ_TEST,
@@ -1011,7 +1013,11 @@ def run_steps_columnar(matcher: Matcher, steps: Sequence[PlanStep],
     """
     stages, names, retains = compile_steps(
         matcher, tuple(steps), tuple(columns), needed)
-    for (vectorized, stage), retain in zip(stages, retains):
+    # One context-variable read decides whether per-step spans exist at
+    # all — the untraced hot path keeps its original loop body.
+    tracing = current_span() is not None
+    for index, ((vectorized, stage), retain) in enumerate(
+            zip(stages, retains)):
         if count == 0:
             return names, {name: [] for name in names}, 0
         if stats is not None:
@@ -1022,7 +1028,24 @@ def run_steps_columnar(matcher: Matcher, steps: Sequence[PlanStep],
                     stats.max_batch_rows = count
             else:
                 stats.fallback_steps += 1
-        columns, count = stage(columns, count)
+        if tracing:
+            # Stages align with plan steps one-to-one except when a
+            # trailing run of dead in-generators was fused into a
+            # single expansion stage (then the last stage covers
+            # steps[index:]).
+            fused = (index == len(stages) - 1
+                     and len(stages) != len(steps))
+            label = ("fused-expand "
+                     f"×{len(steps) - index}" if fused
+                     else f"{steps[index].mode} {steps[index].atom}")
+            with trace_span(
+                    f"{index + 1}. {label}",
+                    mode="vec" if vectorized else "fallback",
+                    rows_in=count) as step_span:
+                columns, count = stage(columns, count)
+                step_span.set(rows_out=count)
+        else:
+            columns, count = stage(columns, count)
         if retain is not None and not retain.issuperset(columns):
             prefix = _ROW_PREFIX
             cut = len(prefix)

@@ -42,6 +42,8 @@ from ..model.instance import Instance, InstanceBuilder, InstanceError
 from ..model.schema import Schema
 from ..model.types import RecordType, SetType
 from ..model.values import Oid, Record, Value, WolSet, format_value
+from ..obs.metrics import publish_engine_stats
+from ..obs.trace import span
 from ..semantics.eval import Binding, EvalError, evaluate
 from ..semantics.match import IndexPool, Matcher
 from .planner import JoinPlan, ProgramPlan, plan_program, shard_join_plan
@@ -213,7 +215,17 @@ class Executor:
             self.run_clause(clause, join_plan)
         self._sync_index_stats(baseline)
         self.stats.elapsed_seconds += time.perf_counter() - start
+        publish_engine_stats(self.engine_label(plan), self.stats)
         return self
+
+    def engine_label(self, plan: Optional[ProgramPlan] = None) -> str:
+        """Which execution engine this run used (metrics label)."""
+        planned = plan is not None or self.use_planner
+        if self.shard is not None:
+            return "parallel"
+        if planned and self.columnar:
+            return "columnar"
+        return "planned" if planned else "naive"
 
     def run_clause(self, clause: Clause,
                    join_plan: Optional[JoinPlan] = None) -> None:
@@ -226,18 +238,26 @@ class Executor:
         self._check_source_only(clause)
         plan = _HeadPlan(clause, self.target_schema)
         self.stats.clauses_run += 1
-        if join_plan is not None:
-            self.stats.clauses_planned += 1
-            self.stats.atoms_reordered += join_plan.atoms_reordered
-            if self.columnar:
-                self._run_clause_columnar(clause, plan, join_plan)
-                return
-            bindings = self._matcher.run_plan(join_plan.steps)
-        else:
-            bindings = self._matcher.solutions(clause.body)
-        for binding in bindings:
-            self.stats.bindings_found += 1
-            self._apply_head(plan, binding, clause)
+        mode = ("columnar" if join_plan is not None and self.columnar
+                else "planned" if join_plan is not None else "dynamic")
+        before = self.stats.bindings_found
+        with span(f"clause {clause.name or clause}",
+                  mode=mode) as clause_span:
+            if join_plan is not None:
+                self.stats.clauses_planned += 1
+                self.stats.atoms_reordered += join_plan.atoms_reordered
+                if self.columnar:
+                    self._run_clause_columnar(clause, plan, join_plan)
+                    clause_span.set(
+                        rows=self.stats.bindings_found - before)
+                    return
+                bindings = self._matcher.run_plan(join_plan.steps)
+            else:
+                bindings = self._matcher.solutions(clause.body)
+            for binding in bindings:
+                self.stats.bindings_found += 1
+                self._apply_head(plan, binding, clause)
+            clause_span.set(rows=self.stats.bindings_found - before)
 
     def _run_clause_columnar(self, clause: Clause, plan: "_HeadPlan",
                              join_plan: JoinPlan) -> None:
@@ -797,30 +817,34 @@ class Executor:
         here, after all clauses have run.
         """
         defaults = dict(defaults or {})
-        builder = InstanceBuilder(self.target_schema)
-        incomplete: List[str] = []
-        for oid, pending in sorted(self._pending.items(), key=lambda i: str(i[0])):
-            ctype = self.target_schema.class_type(pending.class_name)
-            value, missing = assemble_target_value(
-                pending.class_name, oid, ctype, pending.attributes,
-                pending.set_attributes, defaults)
-            if value is None:
-                incomplete.append(f"{oid}: missing attributes {missing}")
-                continue
-            builder.put(oid, value)
-        if incomplete and validate:
-            raise ExecutionError(
-                "incomplete transformation (the program does not fully "
-                "describe these objects): " + "; ".join(incomplete))
-        instance = builder.freeze(validate=False)
-        if validate:
-            try:
-                instance.validate()
-            except InstanceError as exc:
+        with span("freeze", objects=len(self._pending)):
+            builder = InstanceBuilder(self.target_schema)
+            incomplete: List[str] = []
+            for oid, pending in sorted(self._pending.items(),
+                                       key=lambda i: str(i[0])):
+                ctype = self.target_schema.class_type(pending.class_name)
+                value, missing = assemble_target_value(
+                    pending.class_name, oid, ctype, pending.attributes,
+                    pending.set_attributes, defaults)
+                if value is None:
+                    incomplete.append(
+                        f"{oid}: missing attributes {missing}")
+                    continue
+                builder.put(oid, value)
+            if incomplete and validate:
                 raise ExecutionError(
-                    f"transformation produced an ill-formed instance: "
-                    f"{exc}") from exc
-        return instance
+                    "incomplete transformation (the program does not "
+                    "fully describe these objects): "
+                    + "; ".join(incomplete))
+            instance = builder.freeze(validate=False)
+            if validate:
+                try:
+                    instance.validate()
+                except InstanceError as exc:
+                    raise ExecutionError(
+                        f"transformation produced an ill-formed "
+                        f"instance: {exc}") from exc
+            return instance
 
 
 def head_effects(plan: "_HeadPlan", binding: Binding, source: Instance,

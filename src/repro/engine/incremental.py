@@ -56,6 +56,7 @@ from ..model.types import (ClassType, ListType, RecordType, SetType, Type)
 from ..model.values import type_of_base
 from ..model.instance import Instance
 from ..model.values import Oid, Value, ValueError_, check_value, oids_in
+from ..obs.metrics import publish_engine_stats
 from ..semantics.eval import Binding
 from ..semantics.match import Matcher
 from ..semantics.satisfaction import Violation, clause_violations
@@ -666,6 +667,7 @@ class IncrementalTransform:
             raise
         stats.elapsed_seconds = time.perf_counter() - start
         self.stats = stats
+        publish_engine_stats("incremental", stats)
         return DeltaResult(target=target, stats=stats, delta=delta)
 
     def _apply_delta(self, delta: Delta, stats: IncrementalStats

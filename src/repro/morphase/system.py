@@ -36,6 +36,7 @@ from ..normalization.keyclauses import recognise_key_clause
 from ..normalization.normalize import (
     NormalizationOptions, NormalizedProgram, normalize)
 from ..normalization.snf import snf_clause
+from ..obs.trace import span
 from ..semantics.satisfaction import (Violation, merge_instances,
                                       program_violations)
 from .metadata import generate_target_key_clauses
@@ -260,9 +261,11 @@ class Morphase:
         cannot be combined with ``use_planner=False`` or the CPL
         backend.
         """
-        self._ensure_preflight()
-        merged = self._merge_sources(sources)
-        normalized = self.compile()
+        with span("preflight"):
+            self._ensure_preflight()
+            merged = self._merge_sources(sources)
+        with span("compile", clauses=len(self.program.clauses)):
+            normalized = self.compile()
         source_violations: Tuple[Violation, ...] = ()
         if check_source_constraints:
             found = self.check_source(merged)
@@ -288,7 +291,10 @@ class Morphase:
         if backend == "direct":
             if parallel is not None:
                 from ..engine.parallel import execute_parallel
-                program_plan = plan_program(normalized.program(), merged)
+                with span("plan") as plan_span:
+                    program_plan = plan_program(normalized.program(),
+                                                merged)
+                    plan_span.set(indexes=program_plan.prebuilt_indexes)
                 target, stats = execute_parallel(
                     normalized.program(), merged, self.target_plain,
                     parallel, validate=validate, defaults=defaults,
@@ -299,11 +305,15 @@ class Morphase:
                                       source_violations=source_violations,
                                       plan=program_plan)
             if use_planner:
-                program_plan = plan_program(normalized.program(), merged)
-            target, stats = execute(normalized.program(), merged,
-                                    self.target_plain, validate=validate,
-                                    defaults=defaults, plan=program_plan,
-                                    columnar=columnar)
+                with span("plan") as plan_span:
+                    program_plan = plan_program(normalized.program(),
+                                                merged)
+                    plan_span.set(indexes=program_plan.prebuilt_indexes)
+            with span("execute"):
+                target, stats = execute(
+                    normalized.program(), merged, self.target_plain,
+                    validate=validate, defaults=defaults,
+                    plan=program_plan, columnar=columnar)
             cpl_source = None
         elif backend == "cpl":
             if defaults:

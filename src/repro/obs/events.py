@@ -1,0 +1,100 @@
+"""The structured event log: JSON lines over stdlib ``logging``.
+
+Operationally interesting moments — slow queries, WAL resets,
+compactions, replica reseeds and outages, 5xx errors — are emitted as
+one JSON object per line through the ``repro.events`` logger.  Every
+event carries the active trace id (when a trace is running), so a
+slow-query line correlates with the span tree that explains it.
+
+As a library, ``repro`` attaches only a ``NullHandler`` — events go
+nowhere until an application (the ``serve`` CLI, a test) calls
+:func:`configure_event_log` or wires its own handler.  The event
+*schema* is stable::
+
+    {"ts": <unix seconds>, "level": "info", "event": "slow_query",
+     "trace_id": "4f2a..."?, ...event-specific fields}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, Optional, TextIO
+
+from .trace import current_trace_id
+
+__all__ = [
+    "EVENT_LOGGER_NAME",
+    "JsonEventFormatter",
+    "configure_event_log",
+    "emit_slow_query",
+    "log_event",
+    "logger",
+]
+
+EVENT_LOGGER_NAME = "repro.events"
+
+logger = logging.getLogger(EVENT_LOGGER_NAME)
+logger.addHandler(logging.NullHandler())
+
+
+def log_event(event: str, level: int = logging.INFO,
+              **fields: Any) -> None:
+    """Emit one structured event (a no-op unless a handler listens).
+
+    ``fields`` must be JSON-serialisable; the active trace id is
+    attached automatically.  The enabled-check runs first, so calling
+    this on a hot-ish path costs one level comparison when nobody is
+    listening.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    payload: Dict[str, Any] = {"event": event}
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    payload.update(fields)
+    logger.log(level, event, extra={"repro_event": payload})
+
+
+class JsonEventFormatter(logging.Formatter):
+    """Format event records (and stray log records) as JSON lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = getattr(record, "repro_event", None)
+        if payload is None:
+            payload = {"event": record.getMessage()}
+        document = {"ts": round(record.created, 3),
+                    "level": record.levelname.lower()}
+        document.update(payload)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+def configure_event_log(stream: Optional[TextIO] = None,
+                        level: int = logging.INFO) -> logging.Handler:
+    """Attach a JSON-lines handler to the event logger.
+
+    Idempotent per stream: calling twice with the same stream does not
+    stack duplicate handlers.  Returns the handler so callers (tests)
+    can detach it with ``logger.removeHandler``.
+    """
+    for existing in logger.handlers:
+        if (isinstance(existing, logging.StreamHandler)
+                and getattr(existing, "stream", None) is stream
+                and isinstance(existing.formatter, JsonEventFormatter)):
+            logger.setLevel(level)
+            return existing
+    handler = logging.StreamHandler(stream) if stream is not None \
+        else logging.StreamHandler()
+    handler.setFormatter(JsonEventFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def emit_slow_query(endpoint: str, elapsed_ms: float,
+                    threshold_ms: float, **fields: Any) -> None:
+    """The slow-query event: a read crossed ``--slow-query-ms``."""
+    log_event("slow_query", level=logging.WARNING, endpoint=endpoint,
+              ms=round(elapsed_ms, 3),
+              threshold_ms=round(threshold_ms, 3), **fields)

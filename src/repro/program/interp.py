@@ -30,12 +30,20 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from ..engine.planner import shard_join_plan
 from ..io.json_io import dump_oid_encoder, value_to_json
 from ..model.instance import Instance
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from ..semantics.match import Matcher
 from .ast import (DifferenceOp, IntersectOp, LimitOp, ProgramError,
                   ProjectOp, QueryOp, QueryProgram, UnionOp)
 from .compile import CompiledProgram, CompiledStatement, compile_program
 
 Row = Dict[str, Any]
+
+#: Statements executed, by operator — the program-DSL mirror of the
+#: per-engine ``repro_engine_*`` counters.
+_STATEMENTS_TOTAL = REGISTRY.counter(
+    "repro_program_statements_total",
+    "Query-program statements executed, by operator.", ("op",))
 
 
 def _row_key(row: Row) -> str:
@@ -133,14 +141,18 @@ def run_compiled(compiled: CompiledProgram, instance: Instance,
     traces: List[StatementTrace] = []
     for statement in compiled.statements:
         op = statement.statement.op
-        if isinstance(op, QueryOp):
-            result, trace = _run_query(statement, matcher, encoder,
-                                       columnar, shards)
-        else:
-            result = _run_algebra(op, statement.columns, sets)
-            trace = StatementTrace(name=statement.statement.name,
-                                   op=op.op, rows=len(result.rows))
-        sets[statement.statement.name] = result
+        name = statement.statement.name
+        with span(f"{op.op} {name}") as stmt_span:
+            if isinstance(op, QueryOp):
+                result, trace = _run_query(statement, matcher, encoder,
+                                           columnar, shards)
+            else:
+                result = _run_algebra(op, statement.columns, sets)
+                trace = StatementTrace(name=name, op=op.op,
+                                       rows=len(result.rows))
+            stmt_span.set(rows=len(result.rows))
+        _STATEMENTS_TOTAL.labels(op.op).inc()
+        sets[name] = result
         traces.append(trace)
 
     result_name = compiled.program.result_name

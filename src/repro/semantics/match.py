@@ -18,6 +18,7 @@ payloads and Skolem arguments (recovering arguments from keyed identities).
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -27,6 +28,7 @@ from ..lang.ast import (Atom, Const, EqAtom, InAtom, LeqAtom, LtAtom,
                         Term, Var, VariantTerm)
 from ..model.instance import Instance
 from ..model.values import Oid, Record, Value, Variant, WolList, WolSet
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from .columns import ColumnStore, deterministic_order
 from .eval import Binding, EvalError, evaluate, is_evaluable, project
 
@@ -40,6 +42,14 @@ class MatchError(Exception):
 #: ``gene``, take each element, project ``symbol``, take each element —
 #: indexing joins that go *through* sets, not just equality chains.
 ELEMENT_STEP = "[]"
+
+
+#: Wall time spent materialising hash indexes (labelled by the indexed
+#: class so hot classes stand out on a dashboard).
+_BUILD_SECONDS = REGISTRY.histogram(
+    "repro_index_build_seconds",
+    "Time spent materialising one (class, path) hash index.",
+    ("class_name",), buckets=LATENCY_BUCKETS)
 
 
 class IndexPool:
@@ -98,6 +108,7 @@ class IndexPool:
         index = self._indexes.get(key)
         if index is not None:
             return index
+        started = time.perf_counter()
         built: Dict[Value, List[Oid]] = {}
         for oid in self.instance.objects_of(class_name):
             for value in _reached_values(self.instance, oid, path):
@@ -105,6 +116,8 @@ class IndexPool:
         frozen = {value: tuple(oids) for value, oids in built.items()}
         self._indexes[key] = frozen
         self.builds += 1
+        _BUILD_SECONDS.labels(class_name).observe(
+            time.perf_counter() - started)
         return frozen
 
     def prebuild(self, keys: Sequence[Tuple[str, Tuple[str, ...]]]) -> None:

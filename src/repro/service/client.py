@@ -40,9 +40,20 @@ from urllib import request as urlrequest
 from urllib.error import HTTPError
 from urllib.parse import quote
 
+from ..obs.trace import current_trace_id
+
 #: Monotonic-read token header (kept literal so this module stays
 #: copy-paste standalone).
 SEQ_HEADER = "X-Repro-Seq"
+
+#: Distributed-trace id header.  When a trace is active in the calling
+#: process (``repro.obs.trace``), every request carries its id — the
+#: server adopts it, so client → leader → follower hops share one
+#: trace id end to end.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Longest slice of a non-JSON error body quoted in the raised error.
+_BODY_SNIPPET_BYTES = 512
 
 
 class ServiceClientError(Exception):
@@ -128,6 +139,11 @@ class ServiceClient:
         self.behind_wait = behind_wait
         #: Highest applied sequence number any response has reported.
         self.last_seq = 0
+        #: The ``trace`` document of the most recent response (None
+        #: when the last response carried none) — ask for one with the
+        #: ``trace=True`` flag on reads and render it with
+        #: :func:`repro.obs.trace.render_trace_json`.
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def _call(self, method: str, path: str,
@@ -161,6 +177,9 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.monotonic and self.last_seq:
             headers[SEQ_HEADER] = str(self.last_seq)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         req = urlrequest.Request(
             self.base_url + path, data=data, method=method,
             headers=headers)
@@ -169,14 +188,25 @@ class ServiceClient:
                 self._observe(resp.headers)
                 document = json.loads(resp.read().decode("utf-8"))
         except HTTPError as exc:
+            raw = exc.read()
             try:
-                document = json.loads(exc.read().decode("utf-8"))
-            except ValueError:
+                document = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                document = None
+            if not isinstance(document, dict):
+                # Not our envelope (a proxy error page, a crashed
+                # worker's traceback): quote what the server actually
+                # said instead of discarding the only evidence.
+                snippet = raw[:_BODY_SNIPPET_BYTES].decode(
+                    "utf-8", errors="replace").strip()
+                message = (f"{exc}: {snippet}" if snippet else str(exc))
                 document = {"error": {"code": "internal_error",
-                                      "message": str(exc)}}
+                                      "message": message}}
             raise _typed_error(exc.code, document) from exc
-        if isinstance(document, dict) and "result" in document:
-            return document["result"]
+        if isinstance(document, dict):
+            self.last_trace = document.get("trace")
+            if "result" in document:
+                return document["result"]
         return document
 
     # ------------------------------------------------------------------
@@ -186,11 +216,19 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._call("GET", "/stats")
 
-    def target(self) -> Dict[str, Any]:
-        return self._call("GET", "/target")
+    def metrics(self) -> str:
+        """Scrape ``GET /metrics`` (Prometheus text, not an envelope)."""
+        req = urlrequest.Request(self.base_url + "/metrics")
+        with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def target(self, trace: bool = False) -> Dict[str, Any]:
+        return self._call(
+            "GET", "/target?trace=1" if trace else "/target")
 
     def query(self, body: str,
-              project: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+              project: Optional[Sequence[str]] = None,
+              trace: bool = False) -> Dict[str, Any]:
         """Run a conjunctive WOL query against the warm target.
 
         ``body`` is a WOL atom list (the text after ``|`` in
@@ -204,6 +242,8 @@ class ServiceClient:
         path = f"/query?body={quote(body)}"
         if project:
             path += f"&project={quote(','.join(project))}"
+        if trace:
+            path += "&trace=1"
         return self._call("GET", path)
 
     def extent(self, class_name: str) -> Dict[str, Any]:
@@ -219,7 +259,8 @@ class ServiceClient:
     def program(self, text: Optional[str] = None,
                 ast: Optional[Dict[str, Any]] = None,
                 columnar: bool = True,
-                explain: bool = False) -> Dict[str, Any]:
+                explain: bool = False,
+                trace: bool = False) -> Dict[str, Any]:
         """Compile and run a query program on the warm session.
 
         Pass exactly one of ``text`` (the DSL source) or ``ast`` (the
@@ -241,10 +282,12 @@ class ServiceClient:
             body["columnar"] = False
         if explain:
             body["explain"] = True
-        return self._call("POST", "/program", body=body)
+        return self._call(
+            "POST", "/program?trace=1" if trace else "/program",
+            body=body)
 
-    def check(self) -> Dict[str, Any]:
-        return self._call("GET", "/check")
+    def check(self, trace: bool = False) -> Dict[str, Any]:
+        return self._call("GET", "/check?trace=1" if trace else "/check")
 
     def ingest(self, delta_document: Dict[str, Any]) -> Dict[str, Any]:
         return self._call("POST", "/ingest", body=delta_document)

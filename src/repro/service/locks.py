@@ -10,7 +10,20 @@ readers share the warm state while writers get exclusivity — and
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
+
+#: How long acquirers waited for the session read-write lock — the
+#: direct saturation signal ("readers stalled behind a batch apply" /
+#: "a writer starved behind a query storm").
+_WAIT_SECONDS = REGISTRY.histogram(
+    "repro_rwlock_wait_seconds",
+    "Time spent waiting to acquire the session read-write lock.",
+    ("mode",), buckets=LATENCY_BUCKETS)
+_WAIT_READ = _WAIT_SECONDS.labels("read")
+_WAIT_WRITE = _WAIT_SECONDS.labels("write")
 
 
 class ReadWriteLock:
@@ -23,10 +36,12 @@ class ReadWriteLock:
         self._writers_waiting = 0
 
     def acquire_read(self) -> None:
+        start = time.perf_counter()
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        _WAIT_READ.observe(time.perf_counter() - start)
 
     def release_read(self) -> None:
         with self._cond:
@@ -35,6 +50,7 @@ class ReadWriteLock:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:
+        start = time.perf_counter()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -43,6 +59,7 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        _WAIT_WRITE.observe(time.perf_counter() - start)
 
     def release_write(self) -> None:
         with self._cond:

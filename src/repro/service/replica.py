@@ -38,10 +38,17 @@ from typing import Any, Dict, List, Optional
 from urllib import request as urlrequest
 from urllib.error import HTTPError
 
+from ..obs.events import log_event
+from ..obs.metrics import REGISTRY
+from ..obs.trace import current_trace_id
 from ..store.snapshot import snapshot_name, write_current
 from ..store.store import StoreError, WAL_NAME, WarehouseStore
 from ..store.wal import WriteAheadLog
 from .session import ServiceError, WarehouseSession
+
+#: Distributed-trace id header, forwarded on leader polls so a traced
+#: request that triggers follower I/O stays one trace end to end.
+TRACE_HEADER = "X-Repro-Trace"
 
 
 class ReplicaError(Exception):
@@ -69,6 +76,8 @@ class ReplicaSession(WarehouseSession):
     409 so a misdirected client learns the leader's address instead of
     forking history.
     """
+
+    role = "replica"
 
     def __init__(self, morphase, store: WarehouseStore,
                  leader_url: str,
@@ -156,15 +165,40 @@ class ReplicaSession(WarehouseSession):
                 self._attach_store(store)
             old.close()
         self.replication.resyncs += 1
+        log_event("replica_reseed", leader=self.leader_url,
+                  base_seq=store.base_seq, seq=store.seq,
+                  resyncs=self.replication.resyncs)
         self._notify_wal()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def publish_metrics(self) -> None:
+        super().publish_metrics()
+        state = self.replication
+        gauge = REGISTRY.gauge
+        gauge("repro_replication_lag",
+              "Leader seq minus locally applied seq at the last poll."
+              ).set(max(0, state.leader_seq - self._applied_seq))
+        gauge("repro_replication_leader_seq",
+              "Leader sequence number at the last poll.").set(
+            state.leader_seq)
+        gauge("repro_replication_records",
+              "Leader WAL records replicated into this node.").set(
+            state.records_replicated)
+        gauge("repro_replication_polls",
+              "Completed /wal polls against the leader.").set(
+            state.polls)
+        gauge("repro_replication_resyncs",
+              "Snapshot-seeded catch-ups (leader compacted past us)."
+              ).set(state.resyncs)
+        gauge("repro_replication_connected",
+              "1 when the last leader poll succeeded.").set(
+            1 if state.connected else 0)
+
     def stats_json(self) -> Dict[str, Any]:
         stats = super().stats_json()
         state = self.replication
-        stats["role"] = "replica"
         stats["replication"] = {
             "leader": state.leader,
             "leader_seq": state.leader_seq,
@@ -217,8 +251,13 @@ class WalReplica:
     def _fetch(self, path: str) -> Any:
         """GET one leader endpoint; unwrap the envelope or raise."""
         url = self.leader_url + path
+        headers: Dict[str, str] = {}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
+        req = urlrequest.Request(url, headers=headers)
         try:
-            with urlrequest.urlopen(url, timeout=self.timeout) as resp:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
                 document = json.loads(resp.read().decode("utf-8"))
         except HTTPError as exc:
             try:
@@ -357,8 +396,16 @@ class WalReplica:
             except (ReplicaError, ServiceError, StoreError,
                     OSError) as exc:
                 if self.session is not None:
-                    self.session.replication.connected = False
-                    self.session.replication.last_error = str(exc)
+                    state = self.session.replication
+                    if state.connected:
+                        # Log the edge (up → down), not every retry —
+                        # an unreachable leader would otherwise flood
+                        # the event log at the retry cadence.
+                        log_event("replica_outage",
+                                  leader=self.leader_url,
+                                  error=str(exc))
+                    state.connected = False
+                    state.last_error = str(exc)
                 self._stop.wait(self.retry_seconds)
 
     def start(self) -> ReplicaSession:

@@ -8,6 +8,8 @@ Endpoints::
 
     GET  /health            liveness + current sequence number
     GET  /stats             service, batching and store statistics
+    GET  /metrics           process metrics, Prometheus text format
+                            (the one non-envelope endpoint)
     GET  /target            full target instance (JSON interchange)
     GET  /query?body=B      conjunctive WOL query over the warm target
          [&project=X,Y]     (planned + columnar; canonical row order)
@@ -47,6 +49,12 @@ asked to write answers ``read_only_replica`` with the leader's URL in
 ``/check`` and ``/lint`` always answer 200: a report full of findings
 is a successful report, not a transport failure.
 
+**Tracing** (``X-Repro-Trace`` / ``?trace=1``): a request carrying the
+trace header runs under a span tree adopting that id (so a client's
+trace stitches across leader and follower hops); adding ``?trace=1``
+to any endpoint embeds the serialised tree as a ``trace`` field in
+the success envelope.  Traced responses echo the id in the header.
+
 **Monotonic reads** (``X-Repro-Seq``): every response carries the
 serving node's applied sequence number in an ``X-Repro-Seq`` header.
 A client that sends the highest value it has seen back as a request
@@ -59,18 +67,61 @@ applied seq passes the token.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..evolution.delta import DeltaError
+from ..obs.events import emit_slow_query, log_event
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY, SIZE_BUCKETS
+from ..obs.trace import start_trace
 from ..store.store import StoreError
 from .session import ServiceError, WarehouseSession
 
 #: Cap on request bodies — a delta document, not a bulk load.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Distributed-trace id header: a client (or an upstream node) sends
+#: one to stitch its span tree to this node's; every traced response
+#: echoes it.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Endpoints whose latency counts as a "query" for the slow-query log.
+_READ_ENDPOINTS = frozenset({"/query", "/target", "/check", "/program"})
+
+_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, endpoint and status.",
+    ("method", "endpoint", "status"))
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "End-to-end request handling latency.",
+    ("method", "endpoint"), buckets=LATENCY_BUCKETS)
+_REQUEST_BYTES = REGISTRY.histogram(
+    "repro_http_request_bytes", "Request body sizes.",
+    ("endpoint",), buckets=SIZE_BUCKETS)
+_RESPONSE_BYTES = REGISTRY.histogram(
+    "repro_http_response_bytes", "Response body sizes.",
+    ("endpoint",), buckets=SIZE_BUCKETS)
+_IN_FLIGHT = REGISTRY.gauge(
+    "repro_http_in_flight", "Requests currently being handled.")
+
+#: Known routes, for bounded metric label cardinality — anything else
+#: (404 probes included) lands under ``other``.
+_GET_ROUTES = frozenset({"/health", "/stats", "/metrics", "/target",
+                         "/query", "/check", "/wal"})
+_POST_ROUTES = frozenset({"/ingest", "/program", "/snapshot", "/lint"})
+
+
+def _route_label(method: str, path: str) -> str:
+    if method == "GET" and path.startswith("/snapshot/"):
+        return "/snapshot/:name"
+    routes = _GET_ROUTES if method == "GET" else _POST_ROUTES
+    return path if path in routes else "other"
 
 #: Version stamp of the response envelope (every endpoint, every
 #: status).
@@ -118,10 +169,13 @@ class ServiceServer(ThreadingHTTPServer):
 
     def __init__(self, address: Tuple[str, int],
                  session: WarehouseSession,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 slow_query_ms: float = 500.0) -> None:
         super().__init__(address, _Handler)
         self.session = session
         self.verbose = verbose
+        #: Read requests slower than this emit a ``slow_query`` event.
+        self.slow_query_ms = slow_query_ms
 
     def handle_error(self, request, client_address) -> None:
         """Keep peer hang-ups out of the log.
@@ -157,9 +211,11 @@ class ServiceServer(ThreadingHTTPServer):
 
 
 def make_server(session: WarehouseSession, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ServiceServer:
+                port: int = 0, verbose: bool = False,
+                slow_query_ms: float = 500.0) -> ServiceServer:
     """Bind a service server (``port=0`` picks an ephemeral port)."""
-    return ServiceServer((host, port), session, verbose=verbose)
+    return ServiceServer((host, port), session, verbose=verbose,
+                         slow_query_ms=slow_query_ms)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -177,7 +233,25 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
+    # Per-request observability state, initialised by _handle before
+    # any route code runs.
+    _trace = None
+    _want_trace = False
+    _status: Optional[int] = None
+    _response_size = 0
+
     def _reply(self, status: int, document: Dict[str, Any]) -> None:
+        trace = self._trace
+        if (trace is not None and self._want_trace
+                and isinstance(document, dict)):
+            # The root span is still open (this very write is part of
+            # it) — stamp its duration as of serialisation time so the
+            # embedded tree is complete and self-consistent.
+            root = trace.root
+            root.duration_ms = (time.perf_counter()
+                                - root._t0) * 1000.0
+            document = dict(document)
+            document["trace"] = trace.to_json()
         body = json.dumps(document, indent=2, sort_keys=True
                           ).encode("utf-8")
         self.send_response(status)
@@ -188,12 +262,24 @@ class _Handler(BaseHTTPRequestHandler):
         # request header to refuse stale replica reads.
         self.send_header(SEQ_HEADER,
                          str(self.server.session.applied_seq))
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace.trace_id)
         if self.close_connection:
             # Declared, not just done: the peer must know this
             # keep-alive connection ends after the response.
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+        self._response_size = len(body)
+        if status >= 500:
+            error = (document.get("error", {})
+                     if isinstance(document, dict) else {})
+            log_event("http_5xx", level=logging.ERROR,
+                      endpoint=self.path, status=status,
+                      code=error.get("code"),
+                      message=error.get("message"),
+                      trace_id=(trace.trace_id if trace else None))
 
     def _error(self, status: int, message: str,
                code: Optional[str] = None,
@@ -282,9 +368,80 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        """Instrumented dispatch around one request.
+
+        Opens a trace when the request carries an ``X-Repro-Trace``
+        header (adopting the upstream id) or asks with ``?trace=1``
+        (the serialised tree then rides the envelope), and records the
+        request into the latency/size/in-flight metrics, the
+        slow-query log, and the DEBUG-level ``http_request`` event.
+        """
         parsed = urlparse(self.path)
+        params = parse_qs(parsed.query)
+        endpoint = _route_label(method, parsed.path)
+        upstream = self.headers.get(TRACE_HEADER)
+        self._trace = None
+        self._want_trace = params.get("trace", ["0"])[0] in ("1", "true")
+        self._status = None
+        self._response_size = 0
+        raw_length = self.headers.get("Content-Length")
+        try:
+            request_bytes = int(raw_length) if raw_length else 0
+        except ValueError:
+            request_bytes = 0
+        start = time.perf_counter()
+        _IN_FLIGHT.inc()
+        try:
+            if upstream or self._want_trace:
+                with start_trace(f"{method} {parsed.path}",
+                                 trace_id=upstream or None) as trace:
+                    self._trace = trace
+                    self._route(method, parsed, params)
+            else:
+                self._route(method, parsed, params)
+        finally:
+            _IN_FLIGHT.dec()
+            elapsed = time.perf_counter() - start
+            status = self._status if self._status is not None else 500
+            _REQUESTS_TOTAL.labels(method, endpoint, str(status)).inc()
+            _REQUEST_SECONDS.labels(method, endpoint).observe(elapsed)
+            if request_bytes > 0:
+                _REQUEST_BYTES.labels(endpoint).observe(request_bytes)
+            if self._response_size:
+                _RESPONSE_BYTES.labels(endpoint).observe(
+                    self._response_size)
+            correlate = ({"trace_id": self._trace.trace_id}
+                         if self._trace is not None else {})
+            elapsed_ms = elapsed * 1000.0
+            if (parsed.path in _READ_ENDPOINTS
+                    and elapsed_ms > self.server.slow_query_ms):
+                emit_slow_query(parsed.path, elapsed_ms,
+                                self.server.slow_query_ms,
+                                status=status, **correlate)
+            log_event("http_request", level=logging.DEBUG,
+                      method=method, endpoint=parsed.path,
+                      status=status, ms=round(elapsed_ms, 3),
+                      **correlate)
+
+    def _route(self, method: str, parsed, params: Dict[str, list]
+               ) -> None:
         session = self.server.session
+        if method == "GET" and parsed.path == "/metrics":
+            # Scrapes are unconditional: a replica behind the read
+            # token must still expose its metrics (that lag is the
+            # point of scraping it).
+            self._metrics(session)
+            return
         if not self._check_read_token():
+            return
+        if method == "POST":
+            self._route_post(session, parsed, params)
             return
         if parsed.path == "/health":
             self._dispatch(lambda: self._health(session))
@@ -293,16 +450,35 @@ class _Handler(BaseHTTPRequestHandler):
         elif parsed.path == "/target":
             self._dispatch(lambda: (200, session.target_json()))
         elif parsed.path == "/query":
-            self._query(session, parse_qs(parsed.query))
+            self._query(session, params)
         elif parsed.path == "/check":
             self._dispatch(lambda: (200, session.check_json()))
         elif parsed.path == "/wal":
-            self._wal(session, parse_qs(parsed.query))
+            self._wal(session, params)
         elif parsed.path.startswith("/snapshot/"):
             self._snapshot_file(session,
                                 parsed.path[len("/snapshot/"):])
         else:
             self._error(404, f"no route {parsed.path}")
+
+    def _metrics(self, session: WarehouseSession) -> None:
+        """``GET /metrics``: the registry in Prometheus text format.
+
+        The one non-envelope endpoint — Prometheus scrapers speak the
+        text exposition format, not our JSON envelope.
+        """
+        session.publish_metrics()
+        body = REGISTRY.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = 200
+        self._response_size = len(body)
 
     def _wal(self, session: WarehouseSession,
              params: Dict[str, list]) -> None:
@@ -379,11 +555,8 @@ class _Handler(BaseHTTPRequestHandler):
                 details={"seq": session.store.seq, "spent": spent})
         return 200, {"seq": session.store.seq}
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        parsed = urlparse(self.path)
-        session = self.server.session
-        if not self._check_read_token():
-            return
+    def _route_post(self, session: WarehouseSession, parsed,
+                    params: Dict[str, list]) -> None:
         if parsed.path == "/ingest":
             document = self._read_body()
             if document is None:

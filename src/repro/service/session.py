@@ -26,14 +26,25 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import reduce
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..evolution.delta import Delta, compose_deltas
 from ..io.json_io import instance_to_json
+from ..obs.metrics import BATCH_BUCKETS, LATENCY_BUCKETS, REGISTRY, Counter
+from ..obs.trace import span
 from ..store.store import WarehouseStore
 from .locks import ReadWriteLock
+
+_BATCH_SIZE = REGISTRY.histogram(
+    "repro_commit_batch_size",
+    "Deltas composed into one group-commit batch.",
+    buckets=BATCH_BUCKETS)
+_BATCH_APPLY_SECONDS = REGISTRY.histogram(
+    "repro_commit_apply_seconds",
+    "Wall time applying one composed batch through the incremental "
+    "engine (under the write lock).", buckets=LATENCY_BUCKETS)
 
 
 class ServiceError(Exception):
@@ -68,24 +79,55 @@ class IngestResult:
     violations: int           #: live violation count after the batch.
 
 
-@dataclass
 class SessionCounters:
-    """Service-level statistics (exposed by ``/stats``)."""
+    """Service-level statistics (exposed by ``/stats``).
 
-    ingested: int = 0
-    batches: int = 0
-    max_batch: int = 0
-    queries: int = 0
-    body_queries: int = 0
-    programs: int = 0
-    checks: int = 0
-    lints: int = 0
-    snapshots: int = 0
-    rebuild_ms: float = 0.0
-    replayed_on_open: int = 0
-    apply_ms_total: float = 0.0
-    last_batch_ms: float = 0.0
-    started_at: float = field(default_factory=time.time)
+    Request counters are backed by :class:`repro.obs.metrics.Counter`
+    atomics — the old dataclass fields were bumped with bare ``+=``
+    under the *read* lock, so two concurrent handlers could lose
+    increments (a read-modify-write race).  Reads stay plain attribute
+    access (``counters.queries``), so ``/stats`` and the tests are
+    unchanged.  Counters are per-session on purpose: a process hosting
+    a leader and a follower (tests, demos) must not blend their
+    request counts.
+    """
+
+    _COUNTER_FIELDS = ("ingested", "batches", "queries", "body_queries",
+                       "programs", "checks", "lints", "snapshots")
+
+    def __init__(self) -> None:
+        self._atomics = {name: Counter()
+                         for name in self._COUNTER_FIELDS}
+        self._max_lock = threading.Lock()
+        self._max_batch = 0
+        self.rebuild_ms = 0.0
+        self.replayed_on_open = 0
+        self.apply_ms_total = 0.0
+        self.last_batch_ms = 0.0
+        self.started_at = time.time()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically bump one request counter."""
+        self._atomics[name].inc(amount)
+
+    def note_batch(self, size: int) -> None:
+        """Record one applied batch's size (count, running max)."""
+        self._atomics["batches"].inc()
+        self._atomics["ingested"].inc(size)
+        with self._max_lock:
+            if size > self._max_batch:
+                self._max_batch = size
+
+    @property
+    def max_batch(self) -> int:
+        with self._max_lock:
+            return self._max_batch
+
+    def __getattr__(self, name: str):
+        atomics = self.__dict__.get("_atomics")
+        if atomics is not None and name in atomics:
+            return int(atomics[name].value)
+        raise AttributeError(name)
 
 
 #: Longest a ``/wal`` long-poll may park one handler thread, whatever
@@ -100,6 +142,10 @@ MAX_WAL_BATCH = 1000
 
 class WarehouseSession:
     """A long-lived, thread-safe Morphase serving session."""
+
+    #: What this node answers in ``/stats`` and ``/metrics``
+    #: (:class:`~repro.service.replica.ReplicaSession` overrides).
+    role = "leader"
 
     def __init__(self, morphase, store: WarehouseStore,
                  defaults: Optional[Dict] = None) -> None:
@@ -157,8 +203,11 @@ class WarehouseSession:
         """Decode a label-addressed delta document and ingest it."""
         with self._intake:
             self._check_alive()
-            delta = self.store.decode_delta(data)
-            seq = self.store.append(delta)
+            with span("decode-delta"):
+                delta = self.store.decode_delta(data)
+            with span("wal-append") as append_span:
+                seq = self.store.append(delta)
+                append_span.set(seq=seq)
             if not delta.is_empty():
                 with self._cond:
                     self._pending.append((seq, delta))
@@ -231,14 +280,14 @@ class WarehouseSession:
         composed = reduce(compose_deltas,
                           (delta for _seq, delta in batch))
         start = time.perf_counter()
-        with self._state_lock.write():
+        with span("commit", batch=len(batch),
+                  seq=batch[-1][0]), self._state_lock.write():
             self.transform.apply_delta(composed)
             self.audit.apply_delta(composed)
         elapsed = (time.perf_counter() - start) * 1000
-        self.counters.ingested += len(batch)
-        self.counters.batches += 1
-        self.counters.max_batch = max(self.counters.max_batch,
-                                      len(batch))
+        _BATCH_SIZE.observe(len(batch))
+        _BATCH_APPLY_SECONDS.observe(elapsed / 1000.0)
+        self.counters.note_batch(len(batch))
         self.counters.apply_ms_total += elapsed
         self.counters.last_batch_ms = elapsed
 
@@ -325,13 +374,13 @@ class WarehouseSession:
 
     def target_json(self) -> Dict[str, Any]:
         with self._state_lock.read():
-            self.counters.queries += 1
+            self.counters.inc("queries")
             return self._target_document()
 
     def query_json(self, class_name: str) -> Dict[str, Any]:
         """The target extent of one class (dump-labelled entries)."""
         with self._state_lock.read():
-            self.counters.queries += 1
+            self.counters.inc("queries")
             target = self.transform.target
             if not target.schema.has_class(class_name):
                 raise ServiceError(
@@ -379,27 +428,30 @@ class WarehouseSession:
         from ..query.query import Query, QueryError
         text = f"{project} | {body}" if project else body
         with self._state_lock.read():
-            self.counters.queries += 1
-            self.counters.body_queries += 1
+            self.counters.inc("queries")
+            self.counters.inc("body_queries")
             target = self.transform.target
-            try:
-                parsed = Query.parse(
-                    text, classes=target.schema.class_names())
-            except QueryError as exc:
-                parse_failure = isinstance(exc.__cause__, ParseError)
-                raise ServiceError(
-                    str(exc),
-                    status=400 if parse_failure else 422,
-                    code="parse_error" if parse_failure
-                    else "validation_failed") from exc
+            with span("parse"):
+                try:
+                    parsed = Query.parse(
+                        text, classes=target.schema.class_names())
+                except QueryError as exc:
+                    parse_failure = isinstance(exc.__cause__, ParseError)
+                    raise ServiceError(
+                        str(exc),
+                        status=400 if parse_failure else 422,
+                        code="parse_error" if parse_failure
+                        else "validation_failed") from exc
             pool, encoder = self._warm_query_state()
             columns = parsed.projection or parsed.variables()
             by_key: Dict[str, Dict[str, Any]] = {}
-            for row in parsed.run_planned(target, pool=pool):
-                encoded = {name: value_to_json(value, encoder)
-                           for name, value in row.items()}
-                by_key.setdefault(_json.dumps(encoded, sort_keys=True),
-                                  encoded)
+            with span("execute") as execute_span:
+                for row in parsed.run_planned(target, pool=pool):
+                    encoded = {name: value_to_json(value, encoder)
+                               for name, value in row.items()}
+                    by_key.setdefault(
+                        _json.dumps(encoded, sort_keys=True), encoded)
+                execute_span.set(rows=len(by_key))
         rows = [by_key[key] for key in sorted(by_key)]
         return {"body": body, "columns": list(columns),
                 "count": len(rows), "rows": rows}
@@ -444,17 +496,19 @@ class WarehouseSession:
                                code="parse_error") from exc
 
         with self._state_lock.read():
-            self.counters.queries += 1
-            self.counters.programs += 1
+            self.counters.inc("queries")
+            self.counters.inc("programs")
             target = self.transform.target
             pool, encoder = self._warm_query_state()
-            try:
-                compiled = compile_program(program, target, pool=pool)
-            except ProgramValidationError as exc:
-                raise ServiceError(
-                    str(exc), status=422, code="validation_failed",
-                    details={"diagnostics":
-                             exc.report.to_json()}) from exc
+            with span("compile"):
+                try:
+                    compiled = compile_program(program, target,
+                                               pool=pool)
+                except ProgramValidationError as exc:
+                    raise ServiceError(
+                        str(exc), status=422, code="validation_failed",
+                        details={"diagnostics":
+                                 exc.report.to_json()}) from exc
             outcome = run_compiled(compiled, target, columnar=columnar,
                                    oid_encoder=encoder)
         response = outcome.to_json()
@@ -466,7 +520,7 @@ class WarehouseSession:
 
     def check_json(self) -> Dict[str, Any]:
         with self._state_lock.read():
-            self.counters.checks += 1
+            self.counters.inc("checks")
             violations = self.audit.violations()
         return {"ok": not violations,
                 "count": len(violations),
@@ -482,7 +536,7 @@ class WarehouseSession:
         Returns the :class:`~repro.analysis.DiagnosticReport` JSON; the
         front end maps ``ok: false`` (error diagnostics) to HTTP 400.
         """
-        self.counters.lints += 1
+        self.counters.inc("lints")
         text = document.get("program")
         if text is None:
             return self.morphase.preflight_report().to_json()
@@ -493,13 +547,48 @@ class WarehouseSession:
                               self.morphase.target_schema)
         return report.to_json()
 
+    def publish_metrics(self) -> None:
+        """Mirror per-session statistics into the process registry.
+
+        Called by ``GET /metrics`` right before rendering, so each
+        node's scrape reflects the session it serves — the counters
+        themselves stay per-session (a process hosting both a leader
+        and a follower, as the tests do, must not blend them).
+        """
+        counters = self.counters
+        gauge = REGISTRY.gauge
+        gauge("repro_session_role",
+              "1 for the role this node serves.",
+              ("role",)).labels(self.role).set(1)
+        gauge("repro_session_applied_seq",
+              "Highest WAL sequence applied to the warm state."
+              ).set(self._applied_seq)
+        gauge("repro_session_ingested",
+              "Deltas ingested by the serving session.").set(
+            counters.ingested)
+        gauge("repro_session_batches",
+              "Group-commit batches applied.").set(counters.batches)
+        gauge("repro_session_queries",
+              "Read requests served (target/query/program).").set(
+            counters.queries)
+        gauge("repro_session_programs",
+              "Query programs served.").set(counters.programs)
+        gauge("repro_session_checks",
+              "Constraint checks served.").set(counters.checks)
+        gauge("repro_session_snapshots",
+              "Compactions requested through this session.").set(
+            counters.snapshots)
+        gauge("repro_session_uptime_seconds",
+              "Seconds since the serving session was opened.").set(
+            time.time() - counters.started_at)
+
     def stats_json(self) -> Dict[str, Any]:
         with self._state_lock.read():
             counters = self.counters
             mean_batch_ms = (counters.apply_ms_total / counters.batches
                              if counters.batches else 0.0)
             return {
-                "role": "leader",
+                "role": self.role,
                 "uptime_seconds": round(
                     time.time() - counters.started_at, 3),
                 "seq": self.store.seq,
@@ -539,7 +628,7 @@ class WarehouseSession:
                        and self._failure is None):
                     self._cond.wait(timeout=0.5)
             name = self.store.snapshot()
-            self.counters.snapshots += 1
+            self.counters.inc("snapshots")
             return {"snapshot": name, "base_seq": self.store.base_seq}
 
     def close(self) -> None:

@@ -32,15 +32,25 @@ instance.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..evolution.delta import Delta, delta_from_json, delta_to_json
 from ..model.instance import Instance
+from ..obs.events import log_event
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from .snapshot import (CURRENT_NAME, LabelMap, load_snapshot,
                        read_current, write_current, write_snapshot)
 from .wal import TornTail, WriteAheadLog
 
 WAL_NAME = "wal.jsonl"
+
+_COMPACTION_SECONDS = REGISTRY.histogram(
+    "repro_store_compaction_seconds",
+    "Wall time of one store compaction (snapshot + manifest flip + "
+    "WAL reset + prune).", buckets=LATENCY_BUCKETS)
+_COMPACTIONS_TOTAL = REGISTRY.counter(
+    "repro_store_compactions_total", "Store compactions completed.")
 
 
 class StoreError(Exception):
@@ -228,6 +238,8 @@ class WarehouseStore:
         last — replay skips records the snapshot subsumed, so dying
         between any two steps loses nothing.
         """
+        start = time.perf_counter()
+        subsumed = len(self.tail)
         name = write_snapshot(self.path, self.instance, self.seq)
         write_current(self.path, name, base_seq=self.seq, wal=WAL_NAME)
         self.wal.reset()
@@ -241,6 +253,12 @@ class WarehouseStore:
         self.labels = LabelMap.derived_from_dump(self.instance)
         if prune:
             self._prune_snapshots(keep=name)
+        elapsed = time.perf_counter() - start
+        _COMPACTION_SECONDS.observe(elapsed)
+        _COMPACTIONS_TOTAL.inc()
+        log_event("compaction", path=self.path, snapshot=name,
+                  base_seq=self.seq, subsumed_records=subsumed,
+                  ms=round(elapsed * 1000, 3))
         return name
 
     def _prune_snapshots(self, keep: str) -> None:

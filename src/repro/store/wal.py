@@ -24,9 +24,27 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
+
+from ..obs.events import log_event
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
+
+_APPEND_SECONDS = REGISTRY.histogram(
+    "repro_wal_append_seconds",
+    "Wall time of one durable WAL append (write + flush + fsync).",
+    buckets=LATENCY_BUCKETS)
+_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "Wall time of the fsync portion of a WAL append (fsync mode only).",
+    buckets=LATENCY_BUCKETS)
+_APPENDS_TOTAL = REGISTRY.counter(
+    "repro_wal_appends_total", "WAL records durably appended.")
+_RESETS_TOTAL = REGISTRY.counter(
+    "repro_wal_resets_total",
+    "WAL resets (log emptied after a snapshot subsumed it).")
 
 
 class WalError(Exception):
@@ -90,17 +108,22 @@ class WriteAheadLog:
             before = os.path.getsize(self.path)
         except OSError:
             before = 0
+        start = time.perf_counter()
         try:
             self._handle.write(line)
             self._handle.flush()
             if self.fsync:
+                sync_start = time.perf_counter()
                 os.fsync(self._handle.fileno())
+                _FSYNC_SECONDS.observe(time.perf_counter() - sync_start)
         except Exception:
             try:
                 self.truncate_at(before)
             except OSError:
                 pass  # the truncate is best-effort damage control
             raise
+        _APPEND_SECONDS.observe(time.perf_counter() - start)
+        _APPENDS_TOTAL.inc()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -182,9 +205,12 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Empty the log (after a snapshot subsumed its records)."""
+        size = self.size_bytes()
         self.close()
         with open(self.path, "w", encoding="utf-8"):
             pass
+        _RESETS_TOTAL.inc()
+        log_event("wal_reset", path=self.path, dropped_bytes=size)
 
     def size_bytes(self) -> int:
         try:

@@ -11,8 +11,23 @@ select the CI behaviour with ``HYPOTHESIS_PROFILE=ci``.
 
 import os
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("ci", derandomize=True, print_blob=True)
 settings.register_profile("dev", settings.get_profile("default"))
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics_registry():
+    """Zero the process-wide metrics registry around every test.
+
+    Registrations survive (families are module-level singletons); only
+    the samples reset, so no test observes counters another test
+    bumped.
+    """
+    from repro.obs.metrics import REGISTRY
+    REGISTRY.reset()
+    yield
+    REGISTRY.reset()

@@ -1,0 +1,77 @@
+"""The structured event log: JSON lines, trace correlation."""
+
+import io
+import json
+import logging
+
+from repro.obs.events import (configure_event_log, emit_slow_query,
+                              log_event, logger)
+from repro.obs.trace import start_trace
+
+
+def capture_events(stream, level=logging.INFO):
+    """Attach a JSON handler to ``stream``; caller must detach."""
+    return configure_event_log(stream, level=level)
+
+
+def parse_lines(stream):
+    return [json.loads(line)
+            for line in stream.getvalue().splitlines() if line]
+
+
+class TestEventLog:
+    def test_events_render_as_json_lines(self):
+        stream = io.StringIO()
+        handler = capture_events(stream)
+        try:
+            log_event("wal_reset", path="/tmp/store",
+                      dropped_bytes=123)
+        finally:
+            logger.removeHandler(handler)
+        (event,) = parse_lines(stream)
+        assert event["event"] == "wal_reset"
+        assert event["level"] == "info"
+        assert event["path"] == "/tmp/store"
+        assert event["dropped_bytes"] == 123
+        assert isinstance(event["ts"], float)
+        assert "trace_id" not in event  # nothing was tracing
+
+    def test_active_trace_id_is_attached(self):
+        stream = io.StringIO()
+        handler = capture_events(stream)
+        try:
+            with start_trace("request", trace_id="feed1234"):
+                emit_slow_query("/query", elapsed_ms=750.1234,
+                                threshold_ms=500.0)
+        finally:
+            logger.removeHandler(handler)
+        (event,) = parse_lines(stream)
+        assert event["event"] == "slow_query"
+        assert event["level"] == "warning"
+        assert event["trace_id"] == "feed1234"
+        assert event["ms"] == 750.123
+        assert event["threshold_ms"] == 500.0
+        assert event["endpoint"] == "/query"
+
+    def test_configure_is_idempotent_per_stream(self):
+        stream = io.StringIO()
+        first = capture_events(stream)
+        second = capture_events(stream)
+        try:
+            assert first is second
+            log_event("compaction", snapshot="s-1")
+        finally:
+            logger.removeHandler(first)
+        assert len(parse_lines(stream)) == 1
+
+    def test_below_level_events_are_dropped(self):
+        stream = io.StringIO()
+        handler = capture_events(stream, level=logging.WARNING)
+        try:
+            log_event("http_request", level=logging.DEBUG, status=200)
+            log_event("http_5xx", level=logging.ERROR, status=500)
+        finally:
+            logger.removeHandler(handler)
+        (event,) = parse_lines(stream)
+        assert event["event"] == "http_5xx"
+        assert event["level"] == "error"
